@@ -1,0 +1,182 @@
+// bench_test.go hosts one testing.B benchmark per paper figure (the
+// benchmark body runs the figure's full experiment and prints its data
+// series) plus public-API micro benchmarks. Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Figures run at bench.ScaleSmall; with -short they shrink further so CI
+// stays fast. Use cmd/bolt-bench for medium/large scale runs.
+package bolt_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/bolt-lsm/bolt"
+	"github.com/bolt-lsm/bolt/internal/bench"
+)
+
+func figureScale(b *testing.B) bench.Scale {
+	if testing.Short() {
+		s := bench.ScaleSmall
+		s.LoadOps = 6000
+		s.RunOps = 2000
+		s.ValueSize = 256
+		s.TimeScale = -1 // accounting only, no sleeps
+		return s
+	}
+	// Default bench scale: a trimmed ScaleSmall so the full `go test
+	// -bench=.` suite stays in the tens of minutes. Use cmd/bolt-bench
+	// with -scale small|medium|large for the figure-quality series
+	// recorded in EXPERIMENTS.md.
+	s := bench.ScaleSmall
+	s.Name = "bench"
+	s.LoadOps = 16000
+	s.RunOps = 5000
+	return s
+}
+
+func benchmarkFigure(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	scale := figureScale(b)
+	for i := 0; i < b.N; i++ {
+		fmt.Fprintf(os.Stdout, "\n--- %s (%s, scale=%s) ---\n", e.ID, e.Title, scale.Name)
+		if err := e.Run(bench.Params{Scale: scale, Out: os.Stdout}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SSTableSizeSweep regenerates Figure 4: fsync count and
+// insertion tail latency versus SSTable size in stock LevelDB.
+func BenchmarkFig4SSTableSizeSweep(b *testing.B) { benchmarkFigure(b, "fig4") }
+
+// BenchmarkFig6TableCacheEviction regenerates Figure 6: point-query
+// latency with 2 MB vs 64 MB SSTables under a fixed TableCache budget.
+func BenchmarkFig6TableCacheEviction(b *testing.B) { benchmarkFigure(b, "fig6") }
+
+// BenchmarkFig11GroupCompactionSize regenerates Figure 11: fsync count
+// versus BoLT group compaction size.
+func BenchmarkFig11GroupCompactionSize(b *testing.B) { benchmarkFigure(b, "fig11") }
+
+// BenchmarkFig12LevelDBAblation regenerates Figure 12(a): +LS/+GC/+STL/+FC
+// over the LevelDB base.
+func BenchmarkFig12LevelDBAblation(b *testing.B) { benchmarkFigure(b, "fig12a") }
+
+// BenchmarkFig12HyperAblation regenerates Figure 12(b): the ablation over
+// the HyperLevelDB base.
+func BenchmarkFig12HyperAblation(b *testing.B) { benchmarkFigure(b, "fig12b") }
+
+// BenchmarkFig13YCSBThroughput regenerates Figure 13: all seven stores
+// across the YCSB suite, zipfian and uniform.
+func BenchmarkFig13YCSBThroughput(b *testing.B) { benchmarkFigure(b, "fig13") }
+
+// BenchmarkFig14TailLatency regenerates Figure 14: insertion (Load A) and
+// read (workload C) tail latencies per store.
+func BenchmarkFig14TailLatency(b *testing.B) { benchmarkFigure(b, "fig14") }
+
+// BenchmarkFig15BoltVsRocks regenerates Figure 15: BoLT vs RocksDB on a
+// memory-constrained database, including the 100-byte record-format
+// crossover.
+func BenchmarkFig15BoltVsRocks(b *testing.B) { benchmarkFigure(b, "fig15") }
+
+// BenchmarkFig16TailLatencyCDF regenerates Figure 16: per-workload latency
+// percentiles, BoLT vs RocksDB.
+func BenchmarkFig16TailLatencyCDF(b *testing.B) { benchmarkFigure(b, "fig16") }
+
+// --- Public-API micro benchmarks ---
+
+func benchDB(b *testing.B, p bolt.Profile) *bolt.DB {
+	b.Helper()
+	db, err := bolt.OpenMem(&bolt.Options{
+		Profile:       p,
+		MemTableBytes: 4 << 20,
+		SSTableBytes:  256 << 10,
+		L1MaxBytes:    1 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// BenchmarkPut measures the in-memory write path (WAL append + concurrent
+// skiplist insert) per profile.
+func BenchmarkPut(b *testing.B) {
+	for _, p := range []bolt.Profile{bolt.ProfileLevelDB, bolt.ProfileBoLT, bolt.ProfileHyperLevelDB} {
+		b.Run(p.String(), func(b *testing.B) {
+			db := benchDB(b, p)
+			value := make([]byte, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := []byte(fmt.Sprintf("user%016d", i))
+				if err := db.Put(key, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGet measures point reads over a multi-level tree.
+func BenchmarkGet(b *testing.B) {
+	for _, p := range []bolt.Profile{bolt.ProfileLevelDB, bolt.ProfileBoLT, bolt.ProfilePebblesDB} {
+		b.Run(p.String(), func(b *testing.B) {
+			db := benchDB(b, p)
+			value := make([]byte, 256)
+			const n = 20000
+			for i := 0; i < n; i++ {
+				db.Put([]byte(fmt.Sprintf("user%016d", i)), value)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := []byte(fmt.Sprintf("user%016d", i%n))
+				if _, err := db.Get(key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScan measures 50-entry range scans.
+func BenchmarkScan(b *testing.B) {
+	db := benchDB(b, bolt.ProfileBoLT)
+	value := make([]byte, 256)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		db.Put([]byte(fmt.Sprintf("user%016d", i)), value)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := db.NewIterator(nil)
+		start := []byte(fmt.Sprintf("user%016d", (i*997)%n))
+		cnt := 0
+		for ok := it.SeekGE(start); ok && cnt < 50; ok = it.Next() {
+			cnt++
+		}
+		it.Close()
+	}
+}
+
+// BenchmarkBatchCommit measures group-commit throughput with 100-op
+// batches.
+func BenchmarkBatchCommit(b *testing.B) {
+	db := benchDB(b, bolt.ProfileHyperBoLT)
+	value := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := bolt.NewBatch()
+		for j := 0; j < 100; j++ {
+			batch.Put([]byte(fmt.Sprintf("user%012d-%02d", i, j)), value)
+		}
+		if err := db.Apply(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,636 @@
+// Package bolt is a from-scratch Go implementation of BoLT — the
+// Barrier-optimized LSM-Tree of Kim, Park, Lee and Nam (ACM/IFIP
+// MIDDLEWARE 2020) — together with every baseline key-value store the
+// paper evaluates against: LevelDB, HyperLevelDB, RocksDB, and PebblesDB,
+// all expressed as profiles of one engine.
+//
+// BoLT attacks the fsync()/fdatasync() barrier overhead of LSM-tree
+// compaction with four elements, each implemented here and individually
+// toggleable:
+//
+//   - compaction files: one physical file (and one barrier) per compaction
+//   - logical SSTables: fine-grained tables addressed by (file, offset)
+//   - group compaction: many victims per compaction, fewer barriers
+//   - settled compaction: zero-overlap victims promoted by a MANIFEST-only
+//     edit, with dead logical SSTables reclaimed by hole punching
+//
+// Quickstart:
+//
+//	db, err := bolt.Open("/tmp/mydb", &bolt.Options{Profile: bolt.ProfileBoLT})
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+//
+// The package also exposes an in-memory backend (OpenMem) and a simulated
+// SSD backend (OpenSim) whose timing model — barrier latency, queue drain,
+// sequential bandwidth — drives the paper's benchmark reproductions.
+package bolt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/batch"
+	"github.com/bolt-lsm/bolt/internal/core"
+	"github.com/bolt-lsm/bolt/internal/simdisk"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("bolt: not found")
+
+// Profile selects which of the paper's systems the engine behaves as.
+type Profile int
+
+// The engine profiles of the paper's evaluation (Section 4).
+const (
+	// ProfileLevelDB mimics stock LevelDB v1.20: 2 MB SSTables (one file
+	// and one fsync each), L0SlowDown=8 / L0Stop=12 governors, seek
+	// compaction, serialized writers.
+	ProfileLevelDB Profile = iota + 1
+	// ProfileLevelDB64MB is LevelDB with 64 MB SSTables (LVL64MB).
+	ProfileLevelDB64MB
+	// ProfileHyperLevelDB mimics HyperLevelDB: larger SSTables, governors
+	// removed, concurrent writer inserts.
+	ProfileHyperLevelDB
+	// ProfileRocksDB mimics RocksDB v6.7.3 defaults: 64 MB SSTables,
+	// compact record format, governors 20/36, 256 MB L1, a dedicated
+	// flush thread.
+	ProfileRocksDB
+	// ProfilePebblesDB mimics PebblesDB: HyperLevelDB base plus
+	// fragmented (guarded, overlapping) levels that avoid next-level
+	// rewrites.
+	ProfilePebblesDB
+	// ProfileBoLT is BoLT implemented over the LevelDB base: compaction
+	// files, 1 MB logical SSTables, 64 MB group compaction, settled
+	// compaction, and the file-descriptor cache.
+	ProfileBoLT
+	// ProfileHyperBoLT is BoLT implemented over the HyperLevelDB base.
+	ProfileHyperBoLT
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileLevelDB:
+		return "LevelDB"
+	case ProfileLevelDB64MB:
+		return "LevelDB-64MB"
+	case ProfileHyperLevelDB:
+		return "HyperLevelDB"
+	case ProfileRocksDB:
+		return "RocksDB"
+	case ProfilePebblesDB:
+		return "PebblesDB"
+	case ProfileBoLT:
+		return "BoLT"
+	case ProfileHyperBoLT:
+		return "HyperBoLT"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// levelDBFamilyEntryPadding models the on-disk record-format efficiency
+// gap the paper measures (223 B vs 141 B per 100-byte record): LevelDB and
+// its derivatives pay it, RocksDB's format does not. See DESIGN.md.
+const levelDBFamilyEntryPadding = 88
+
+// rocksDBEntryPadding calibrates RocksDB's small residual overhead.
+const rocksDBEntryPadding = 6
+
+// Options configures Open. The zero value selects ProfileLevelDB with the
+// profile's defaults; any non-zero field overrides the profile.
+type Options struct {
+	// Profile selects the engine behaviour (default ProfileLevelDB).
+	Profile Profile
+
+	// MemTableBytes overrides the write buffer size (the paper uses 64 MB
+	// for all stores).
+	MemTableBytes int64
+	// SSTableBytes overrides the physical SSTable size.
+	SSTableBytes int64
+	// LogicalSSTableBytes overrides the BoLT logical SSTable size.
+	LogicalSSTableBytes int64
+	// GroupCompactionBytes overrides the BoLT group compaction budget.
+	GroupCompactionBytes int64
+	// L1MaxBytes overrides the level-1 size limit.
+	L1MaxBytes int64
+	// TableCacheEntries overrides the TableCache capacity (in tables, like
+	// LevelDB's max_open_files).
+	TableCacheEntries int
+	// BlockCacheBytes overrides the BlockCache capacity.
+	BlockCacheBytes int64
+	// L0SlowdownTrigger / L0StopTrigger override the write governors;
+	// negative disables them explicitly.
+	L0SlowdownTrigger int
+	L0StopTrigger     int
+	// BloomBitsPerKey overrides the filter density (default 10).
+	BloomBitsPerKey int
+	// BlockSize overrides the data block size (default 4 KiB). The bench
+	// harness scales it with the other size constants so the
+	// index-to-block ratio (the TableCache miss penalty driver) matches
+	// the paper.
+	BlockSize int
+
+	// SyncWrites syncs the WAL on every commit (durable acknowledgements).
+	SyncWrites bool
+
+	// Ablation switches (Figure 12): starting from a BoLT profile, disable
+	// individual elements. DisableGroupCompaction yields +LS,
+	// DisableSettled yields +GC, DisableFDCache yields +STL.
+	DisableGroupCompaction bool
+	DisableSettled         bool
+	DisableFDCache         bool
+	// EnableSettled / EnableFDCache turn the corresponding BoLT elements
+	// on over a non-BoLT profile (used with LogicalSSTableBytes to graft
+	// BoLT onto, e.g., the RocksDB profile — the paper's future work).
+	EnableSettled bool
+	EnableFDCache bool
+
+	// VerifyInvariants enables internal layout checks after every flush
+	// and compaction (for tests).
+	VerifyInvariants bool
+}
+
+// coreConfig expands the profile plus overrides into the engine config.
+func (o *Options) coreConfig() core.Config {
+	p := o.Profile
+	if p == 0 {
+		p = ProfileLevelDB
+	}
+	var c core.Config
+	switch p {
+	case ProfileLevelDB:
+		c = core.Config{
+			MemTableBytes:     4 << 20,
+			MaxSSTableBytes:   2 << 20,
+			L0SlowdownTrigger: 8,
+			L0StopTrigger:     12,
+			SeekCompaction:    true,
+			EntryPadding:      levelDBFamilyEntryPadding,
+		}
+	case ProfileLevelDB64MB:
+		c = core.Config{
+			MemTableBytes:     4 << 20,
+			MaxSSTableBytes:   64 << 20,
+			L0SlowdownTrigger: 8,
+			L0StopTrigger:     12,
+			SeekCompaction:    true,
+			EntryPadding:      levelDBFamilyEntryPadding,
+		}
+	case ProfileHyperLevelDB:
+		c = core.Config{
+			MemTableBytes:     4 << 20,
+			MaxSSTableBytes:   32 << 20,
+			L0SlowdownTrigger: 0,
+			L0StopTrigger:     0,
+			ConcurrentWriters: true,
+			SeekCompaction:    false,
+			EntryPadding:      levelDBFamilyEntryPadding,
+		}
+	case ProfileRocksDB:
+		c = core.Config{
+			MemTableBytes:       4 << 20,
+			MaxSSTableBytes:     64 << 20,
+			L0SlowdownTrigger:   20,
+			L0StopTrigger:       36,
+			L1MaxBytes:          256 << 20,
+			SeparateFlushThread: true,
+			SeekCompaction:      false,
+			EntryPadding:        rocksDBEntryPadding,
+		}
+	case ProfilePebblesDB:
+		c = core.Config{
+			MemTableBytes:     4 << 20,
+			MaxSSTableBytes:   64 << 20,
+			L0SlowdownTrigger: 0,
+			L0StopTrigger:     0,
+			ConcurrentWriters: true,
+			Fragmented:        true,
+			SeekCompaction:    false,
+			EntryPadding:      levelDBFamilyEntryPadding,
+		}
+	case ProfileBoLT:
+		c = core.Config{
+			MemTableBytes:        4 << 20,
+			MaxSSTableBytes:      2 << 20,
+			LogicalSSTableBytes:  1 << 20,
+			GroupCompactionBytes: 64 << 20,
+			SettledCompaction:    true,
+			FDCache:              true,
+			L0SlowdownTrigger:    8,
+			L0StopTrigger:        12,
+			SeekCompaction:       true,
+			EntryPadding:         levelDBFamilyEntryPadding,
+		}
+	case ProfileHyperBoLT:
+		c = core.Config{
+			MemTableBytes:        4 << 20,
+			MaxSSTableBytes:      32 << 20,
+			LogicalSSTableBytes:  1 << 20,
+			GroupCompactionBytes: 64 << 20,
+			SettledCompaction:    true,
+			FDCache:              true,
+			L0SlowdownTrigger:    0,
+			L0StopTrigger:        0,
+			ConcurrentWriters:    true,
+			SeekCompaction:       false,
+			EntryPadding:         levelDBFamilyEntryPadding,
+		}
+	}
+
+	if o.MemTableBytes > 0 {
+		c.MemTableBytes = o.MemTableBytes
+	}
+	if o.SSTableBytes > 0 {
+		c.MaxSSTableBytes = o.SSTableBytes
+	}
+	if o.LogicalSSTableBytes > 0 {
+		c.LogicalSSTableBytes = o.LogicalSSTableBytes
+	}
+	if o.GroupCompactionBytes > 0 {
+		c.GroupCompactionBytes = o.GroupCompactionBytes
+	}
+	if o.L1MaxBytes > 0 {
+		c.L1MaxBytes = o.L1MaxBytes
+	}
+	if o.TableCacheEntries > 0 {
+		c.TableCacheEntries = o.TableCacheEntries
+	}
+	if o.BlockCacheBytes > 0 {
+		c.BlockCacheBytes = o.BlockCacheBytes
+	}
+	if o.L0SlowdownTrigger != 0 {
+		c.L0SlowdownTrigger = max(o.L0SlowdownTrigger, 0)
+	}
+	if o.L0StopTrigger != 0 {
+		c.L0StopTrigger = max(o.L0StopTrigger, 0)
+	}
+	if o.BloomBitsPerKey != 0 {
+		c.BloomBitsPerKey = o.BloomBitsPerKey
+	}
+	if o.BlockSize > 0 {
+		c.BlockSize = o.BlockSize
+	}
+	c.SyncWAL = o.SyncWrites
+	c.VerifyInvariants = o.VerifyInvariants
+	if o.EnableSettled {
+		c.SettledCompaction = true
+	}
+	if o.EnableFDCache {
+		c.FDCache = true
+	}
+	if o.DisableGroupCompaction {
+		c.GroupCompactionBytes = 0
+	}
+	if o.DisableSettled {
+		c.SettledCompaction = false
+	}
+	if o.DisableFDCache {
+		c.FDCache = false
+	}
+	return c
+}
+
+// SimDisk parameterizes the simulated SSD used by OpenSim; zero fields take
+// defaults approximating the paper's SATA SSD (Samsung 860 EVO class).
+type SimDisk struct {
+	// WriteBandwidth in bytes/second (default 500 MB/s).
+	WriteBandwidth float64
+	// ReadBandwidth in bytes/second (default 550 MB/s).
+	ReadBandwidth float64
+	// ReadLatency per read op (default 80 ”s).
+	ReadLatency time.Duration
+	// BarrierLatency per fsync barrier (default 3 ms).
+	BarrierLatency time.Duration
+	// MetadataOpLatency per create/open/unlink/punch (default 30 ”s).
+	MetadataOpLatency time.Duration
+	// QueueDepth bounds concurrent reads (default 32).
+	QueueDepth int
+	// TimeScale scales all simulated sleeps; 0 means 1.0 (real time),
+	// negative disables sleeping entirely (pure accounting).
+	TimeScale float64
+}
+
+func (d SimDisk) profile() simdisk.Profile {
+	p := simdisk.DefaultProfile()
+	if d.WriteBandwidth > 0 {
+		p.WriteBandwidth = d.WriteBandwidth
+	}
+	if d.ReadBandwidth > 0 {
+		p.ReadBandwidth = d.ReadBandwidth
+	}
+	if d.ReadLatency > 0 {
+		p.ReadLatency = d.ReadLatency
+	}
+	if d.BarrierLatency > 0 {
+		p.BarrierLatency = d.BarrierLatency
+	}
+	if d.MetadataOpLatency > 0 {
+		p.MetadataOpLatency = d.MetadataOpLatency
+	}
+	if d.QueueDepth > 0 {
+		p.QueueDepth = d.QueueDepth
+	}
+	switch {
+	case d.TimeScale < 0:
+		p.TimeScale = 0
+	case d.TimeScale > 0:
+		p.TimeScale = d.TimeScale
+	}
+	return p
+}
+
+// DB is an open database.
+type DB struct {
+	inner  *core.DB
+	device *simdisk.Device // nil unless OpenSim
+}
+
+// Open opens (creating if necessary) a database in directory path on the
+// real filesystem.
+func Open(path string, o *Options) (*DB, error) {
+	fs, err := vfs.NewOS(path)
+	if err != nil {
+		return nil, err
+	}
+	return openOn(fs, o, nil)
+}
+
+// OpenMem opens a fresh in-memory database (no durability; tests/demos).
+func OpenMem(o *Options) (*DB, error) {
+	return openOn(vfs.NewMem(), o, nil)
+}
+
+// OpenSim opens an in-memory database whose I/O is charged to a simulated
+// SSD — the substrate for the paper's benchmark reproduction.
+func OpenSim(o *Options, d SimDisk) (*DB, error) {
+	device := simdisk.NewDevice(d.profile())
+	return openOn(vfs.NewSim(device), o, device)
+}
+
+func openOn(fs vfs.FS, o *Options, device *simdisk.Device) (*DB, error) {
+	if o == nil {
+		o = &Options{}
+	}
+	inner, err := core.Open(fs, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, device: device}, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Put inserts or overwrites key.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// Get returns the value of key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	v, err := db.inner.Get(key, nil)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// Batch is a set of writes applied atomically by Apply.
+type Batch struct {
+	b *batch.Batch
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{b: batch.New()} }
+
+// Put records an insertion.
+func (b *Batch) Put(key, value []byte) { b.b.Put(key, value) }
+
+// Delete records a deletion.
+func (b *Batch) Delete(key []byte) { b.b.Delete(key) }
+
+// Len returns the number of operations.
+func (b *Batch) Len() int { return b.b.Count() }
+
+// Apply writes the batch atomically.
+func (db *DB) Apply(b *Batch) error { return db.inner.Write(b.b) }
+
+// Snapshot pins a consistent read view.
+type Snapshot struct {
+	s *core.Snapshot
+}
+
+// GetSnapshot pins the current state; callers must Release it.
+func (db *DB) GetSnapshot() *Snapshot { return &Snapshot{s: db.inner.NewSnapshot()} }
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() { s.s.Release() }
+
+// GetAt reads key at the snapshot.
+func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
+	v, err := db.inner.Get(key, snap.s)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return v, err
+}
+
+// Iterator walks user keys in ascending order.
+type Iterator struct {
+	it *core.DBIter
+}
+
+// NewIterator returns an iterator over the latest state (snap may be nil).
+func (db *DB) NewIterator(snap *Snapshot) *Iterator {
+	var cs *core.Snapshot
+	if snap != nil {
+		cs = snap.s
+	}
+	return &Iterator{it: db.inner.NewIter(cs)}
+}
+
+// First positions at the first key.
+func (it *Iterator) First() bool { return it.it.First() }
+
+// SeekGE positions at the first key >= key.
+func (it *Iterator) SeekGE(key []byte) bool { return it.it.SeekGE(key) }
+
+// Next advances.
+func (it *Iterator) Next() bool { return it.it.Next() }
+
+// Valid reports whether the iterator is positioned.
+func (it *Iterator) Valid() bool { return it.it.Valid() }
+
+// Key returns the current key (valid until the next move).
+func (it *Iterator) Key() []byte { return it.it.Key() }
+
+// Value returns the current value (valid until the next move).
+func (it *Iterator) Value() []byte { return it.it.Value() }
+
+// Err returns the first error encountered.
+func (it *Iterator) Err() error { return it.it.Err() }
+
+// Close releases the iterator.
+func (it *Iterator) Close() error { return it.it.Close() }
+
+// Stats is a combined snapshot of engine and I/O counters — everything the
+// paper's figures are built from.
+type Stats struct {
+	// Fsyncs is the number of fsync/fdatasync barriers issued (Figures 4a
+	// and 11).
+	Fsyncs int64
+	// BytesWritten / BytesRead are file-level totals (Figure 12's side
+	// graph).
+	BytesWritten int64
+	BytesRead    int64
+	// HolePunches counts barrier-free logical-SSTable reclamations.
+	HolePunches int64
+
+	// Writes / Gets count committed operations and lookups; BytesIn is
+	// the accepted user payload volume (write amplification =
+	// BytesWritten / BytesIn).
+	Writes  int64
+	Gets    int64
+	BytesIn int64
+	// StallSlowdown / StallStops / StallTime describe write-governor
+	// activity.
+	StallSlowdown int64
+	StallStops    int64
+	StallTime     time.Duration
+
+	// Compactions / MemtableFlushes / SettledPromotions / SeekCompactions
+	// describe background activity.
+	Compactions       int64
+	MemtableFlushes   int64
+	SettledPromotions int64
+	SeekCompactions   int64
+	// CompactionBytesIn/Out measure compaction traffic (write
+	// amplification = (BytesWritten)/(user bytes)).
+	CompactionBytesIn  int64
+	CompactionBytesOut int64
+
+	// TablesChecked / BloomSkips describe read-path table consultation.
+	TablesChecked int64
+	BloomSkips    int64
+
+	// TableCacheHits/Misses and MetaBytesRead quantify the metadata-
+	// caching overhead of Section 2.6 (a TableCache miss reads the whole
+	// filter+index region, proportional to SSTable size).
+	TableCacheHits   int64
+	TableCacheMisses int64
+	MetaBytesRead    int64
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	ios := db.inner.IO().Snapshot()
+	m := db.inner.Metrics().Snapshot()
+	cs := db.inner.CacheStats()
+	return Stats{
+		TableCacheHits:     cs.TableHits,
+		TableCacheMisses:   cs.TableMisses,
+		MetaBytesRead:      cs.MetaBytesRead,
+		BlockCacheHits:     cs.BlockHits,
+		BlockCacheMisses:   cs.BlockMisses,
+		Fsyncs:             ios.Fsyncs,
+		BytesWritten:       ios.BytesWritten,
+		BytesRead:          ios.BytesRead,
+		HolePunches:        ios.HolePunches,
+		Writes:             m.Writes,
+		Gets:               m.Gets,
+		BytesIn:            m.BytesIn,
+		StallSlowdown:      m.StallSlowdown,
+		StallStops:         m.StallStops,
+		StallTime:          m.StallTime,
+		Compactions:        m.Compactions,
+		MemtableFlushes:    m.MemtableFlushes,
+		SettledPromotions:  m.SettledPromotions,
+		SeekCompactions:    m.SeekCompactions,
+		CompactionBytesIn:  m.CompactionBytesIn,
+		CompactionBytesOut: m.CompactionBytesOut,
+		TablesChecked:      m.TablesChecked,
+		BloomSkips:         m.BloomSkips,
+	}
+}
+
+// SimStats reports the simulated device counters; ok is false when the DB
+// was not opened with OpenSim.
+type SimStats struct {
+	Barriers     int64
+	BytesFlushed int64
+	BytesRead    int64
+	Reads        int64
+	BarrierStall time.Duration
+	ReadStall    time.Duration
+}
+
+// SimStats returns simulated-device counters for OpenSim databases.
+func (db *DB) SimStats() (SimStats, bool) {
+	if db.device == nil {
+		return SimStats{}, false
+	}
+	s := db.device.Stats()
+	return SimStats{
+		Barriers:     s.Barriers,
+		BytesFlushed: s.BytesFlushed,
+		BytesRead:    s.BytesRead,
+		Reads:        s.Reads,
+		BarrierStall: s.BarrierStall,
+		ReadStall:    s.ReadStall,
+	}, true
+}
+
+// WaitIdle blocks until background flushes and compactions drain.
+func (db *DB) WaitIdle() { db.inner.WaitIdle() }
+
+// CompactRange synchronously flushes the memtable and compacts every table
+// overlapping the user-key range [start, limit] (nil = unbounded) down the
+// tree. CompactRange(nil, nil) settles the whole database.
+func (db *DB) CompactRange(start, limit []byte) error {
+	return db.inner.CompactRange(start, limit)
+}
+
+// RepairReport summarizes a Repair run.
+type RepairReport struct {
+	TablesRecovered int
+	TablesLost      int
+	FilesScanned    int
+	Entries         int
+}
+
+// Repair rebuilds the MANIFEST of the database at path from its table
+// files (for use when CURRENT or the MANIFEST is lost or corrupt; Open
+// refuses such directories and points here). See cmd/bolt-repair.
+func Repair(path string) (RepairReport, error) {
+	fs, err := vfs.NewOS(path)
+	if err != nil {
+		return RepairReport{}, err
+	}
+	r, err := core.Repair(fs, core.Config{})
+	if err != nil {
+		return RepairReport{}, err
+	}
+	return RepairReport{
+		TablesRecovered: r.TablesRecovered,
+		TablesLost:      r.TablesLost,
+		FilesScanned:    r.FilesScanned,
+		Entries:         r.Entries,
+	}, nil
+}
+
+// NumLevelFiles returns per-level table counts (diagnostics).
+func (db *DB) NumLevelFiles() []int {
+	files := db.inner.NumLevelFiles()
+	return files[:]
+}
+
+// DebugLayout renders the current table layout (diagnostics).
+func (db *DB) DebugLayout() string { return db.inner.DebugVersion() }

@@ -1,0 +1,66 @@
+// Command bolt-bench regenerates the paper's figures on the simulated-SSD
+// substrate. Each experiment prints the data series of one figure.
+//
+// Usage:
+//
+//	bolt-bench -list
+//	bolt-bench -experiment fig11 [-scale small|medium|large]
+//	bolt-bench -experiment all -scale medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment = flag.String("experiment", "all", "figure id (fig4, fig6, fig11, fig12a, fig12b, fig13, fig14, fig15, fig16) or 'all'")
+		scaleName  = flag.String("scale", "medium", "experiment scale: small | medium | large")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	scale, err := bench.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	params := bench.Params{Scale: scale, Out: os.Stdout}
+
+	var todo []bench.Experiment
+	if *experiment == "all" {
+		todo = bench.Experiments()
+	} else {
+		e, ok := bench.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *experiment)
+		}
+		todo = []bench.Experiment{e}
+	}
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(params); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("=== %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

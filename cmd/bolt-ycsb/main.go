@@ -1,0 +1,206 @@
+// Command bolt-ycsb drives YCSB workloads against any engine profile, on a
+// real directory, in memory, or on the simulated SSD.
+//
+// Examples:
+//
+//	bolt-ycsb -db /tmp/db -profile bolt -workload LA -ops 100000
+//	bolt-ycsb -storage sim -profile leveldb -workload LA -ops 50000 -then A,B,C
+//	bolt-ycsb -storage sim -profile pebblesdb -workload LA -dist uniform
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bolt-lsm/bolt"
+	"github.com/bolt-lsm/bolt/internal/ycsb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bolt-ycsb:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProfile(name string) (bolt.Profile, error) {
+	switch strings.ToLower(name) {
+	case "leveldb":
+		return bolt.ProfileLevelDB, nil
+	case "leveldb64", "lvl64":
+		return bolt.ProfileLevelDB64MB, nil
+	case "hyperleveldb", "hyper":
+		return bolt.ProfileHyperLevelDB, nil
+	case "rocksdb", "rocks":
+		return bolt.ProfileRocksDB, nil
+	case "pebblesdb", "pebbles":
+		return bolt.ProfilePebblesDB, nil
+	case "bolt":
+		return bolt.ProfileBoLT, nil
+	case "hyperbolt", "hbolt":
+		return bolt.ProfileHyperBoLT, nil
+	default:
+		return 0, fmt.Errorf("unknown profile %q", name)
+	}
+}
+
+func parseWorkload(name string) (ycsb.Workload, error) {
+	switch strings.ToUpper(name) {
+	case "LA":
+		return ycsb.LoadA, nil
+	case "LE":
+		return ycsb.LoadE, nil
+	case "A":
+		return ycsb.WorkloadA, nil
+	case "B":
+		return ycsb.WorkloadB, nil
+	case "C":
+		return ycsb.WorkloadC, nil
+	case "D":
+		return ycsb.WorkloadD, nil
+	case "E":
+		return ycsb.WorkloadE, nil
+	case "F":
+		return ycsb.WorkloadF, nil
+	default:
+		return 0, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+// kv adapts bolt.DB to ycsb.KV.
+type kv struct{ db *bolt.DB }
+
+func (a kv) Put(key, value []byte) error { return a.db.Put(key, value) }
+
+func (a kv) Get(key []byte) (bool, error) {
+	_, err := a.db.Get(key)
+	if errors.Is(err, bolt.ErrNotFound) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+func (a kv) Scan(start []byte, maxLen int) (int, error) {
+	it := a.db.NewIterator(nil)
+	defer it.Close()
+	n := 0
+	for ok := it.SeekGE(start); ok && n < maxLen; ok = it.Next() {
+		n++
+	}
+	return n, it.Err()
+}
+
+func run() error {
+	var (
+		dir       = flag.String("db", "", "database directory (required for -storage disk)")
+		storage   = flag.String("storage", "disk", "disk | mem | sim")
+		profile   = flag.String("profile", "bolt", "leveldb | leveldb64 | hyper | rocks | pebbles | bolt | hyperbolt")
+		workload  = flag.String("workload", "LA", "first workload: LA, LE, A..F")
+		then      = flag.String("then", "", "comma-separated workloads to run after the first (e.g. A,B,C)")
+		ops       = flag.Int64("ops", 100_000, "operations for the first workload")
+		runOps    = flag.Int64("run-ops", 0, "operations for subsequent workloads (default ops/5)")
+		records   = flag.Int64("records", 0, "pre-existing record count (for non-load first workloads)")
+		valueSize = flag.Int("value-size", 1024, "value payload bytes")
+		threads   = flag.Int("threads", 4, "client threads")
+		dist      = flag.String("dist", "zipfian", "zipfian | uniform | latest")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		sync      = flag.Bool("sync", false, "sync WAL on every commit")
+	)
+	flag.Parse()
+
+	prof, err := parseProfile(*profile)
+	if err != nil {
+		return err
+	}
+	first, err := parseWorkload(*workload)
+	if err != nil {
+		return err
+	}
+	var distribution ycsb.Distribution
+	switch strings.ToLower(*dist) {
+	case "zipfian":
+		distribution = ycsb.Zipfian
+	case "uniform":
+		distribution = ycsb.Uniform
+	case "latest":
+		distribution = ycsb.Latest
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	if *runOps <= 0 {
+		*runOps = *ops / 5
+		if *runOps == 0 {
+			*runOps = *ops
+		}
+	}
+
+	opts := &bolt.Options{Profile: prof, SyncWrites: *sync}
+	var db *bolt.DB
+	switch *storage {
+	case "disk":
+		if *dir == "" {
+			return errors.New("-db is required with -storage disk")
+		}
+		db, err = bolt.Open(*dir, opts)
+	case "mem":
+		db, err = bolt.OpenMem(opts)
+	case "sim":
+		db, err = bolt.OpenSim(opts, bolt.SimDisk{})
+	default:
+		return fmt.Errorf("unknown storage %q", *storage)
+	}
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	workloads := []ycsb.Workload{first}
+	if *then != "" {
+		for _, name := range strings.Split(*then, ",") {
+			w, err := parseWorkload(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			workloads = append(workloads, w)
+		}
+	}
+
+	recordCount := *records
+	for i, w := range workloads {
+		n := *ops
+		if i > 0 {
+			n = *runOps
+		}
+		res, err := ycsb.Run(kv{db}, ycsb.RunConfig{
+			Workload:     w,
+			Distribution: distribution,
+			RecordCount:  recordCount,
+			Ops:          n,
+			Threads:      *threads,
+			ValueSize:    *valueSize,
+			Seed:         *seed + int64(i),
+		})
+		if err != nil {
+			return err
+		}
+		recordCount += res.InsertedRecords
+		fmt.Printf("%-3s %8d ops in %8v  %10.0f ops/s  read[%s]  write[%s]\n",
+			w, res.Ops, res.Duration.Round(time.Millisecond), res.Throughput,
+			res.Read, res.Write)
+	}
+
+	s := db.Stats()
+	fmt.Printf("\nstats: fsyncs=%d written=%d read=%d compactions=%d flushes=%d settled=%d stalls=%v holes=%d\n",
+		s.Fsyncs, s.BytesWritten, s.BytesRead, s.Compactions, s.MemtableFlushes,
+		s.SettledPromotions, s.StallTime.Round(time.Millisecond), s.HolePunches)
+	if sim, ok := db.SimStats(); ok {
+		fmt.Printf("device: barriers=%d flushed=%d read=%d barrier-stall=%v read-stall=%v\n",
+			sim.Barriers, sim.BytesFlushed, sim.BytesRead,
+			sim.BarrierStall.Round(time.Millisecond), sim.ReadStall.Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// kvserver exposes a BoLT database over TCP with a tiny line protocol —
+// the "key-value store behind a NoSQL service" deployment the paper's
+// introduction motivates.
+//
+// Protocol (one request per line, responses are single lines):
+//
+//	SET <key> <value>   -> OK
+//	GET <key>           -> VALUE <value> | NOTFOUND
+//	DEL <key>           -> OK
+//	SCAN <prefix> <n>   -> SCAN <k>... END
+//	STATS               -> STATS fsyncs=... compactions=...
+//
+// Run a server, then exercise it with the built-in demo client:
+//
+//	go run ./examples/kvserver -addr :7700 &
+//	go run ./examples/kvserver -demo -addr :7700
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bolt-lsm/bolt"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":7700", "listen / connect address")
+		dir  = flag.String("db", filepath.Join(os.TempDir(), "bolt-kvserver"), "database directory")
+		demo = flag.Bool("demo", false, "run the demo client instead of a server")
+	)
+	flag.Parse()
+	if *demo {
+		if err := runDemo(*addr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := runServer(*addr, *dir); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runServer(addr, dir string) error {
+	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("kvserver: serving %s on %s", dir, addr)
+
+	// Graceful shutdown on interrupt: stop accepting, wait for handlers.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	var wg sync.WaitGroup
+	go func() {
+		<-stop
+		log.Print("kvserver: shutting down")
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return nil // listener closed
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			serveConn(db, conn)
+		}()
+	}
+}
+
+func serveConn(db *bolt.DB, conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		fields := strings.SplitN(sc.Text(), " ", 3)
+		reply := handle(db, fields)
+		fmt.Fprintln(w, reply)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func handle(db *bolt.DB, fields []string) string {
+	if len(fields) == 0 {
+		return "ERR empty"
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "SET":
+		if len(fields) != 3 {
+			return "ERR usage: SET <key> <value>"
+		}
+		if err := db.Put([]byte(fields[1]), []byte(fields[2])); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "GET":
+		if len(fields) < 2 {
+			return "ERR usage: GET <key>"
+		}
+		v, err := db.Get([]byte(fields[1]))
+		if err == bolt.ErrNotFound {
+			return "NOTFOUND"
+		}
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "VALUE " + string(v)
+	case "DEL":
+		if len(fields) < 2 {
+			return "ERR usage: DEL <key>"
+		}
+		if err := db.Delete([]byte(fields[1])); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "SCAN":
+		if len(fields) != 3 {
+			return "ERR usage: SCAN <prefix> <n>"
+		}
+		var n int
+		fmt.Sscanf(fields[2], "%d", &n)
+		if n <= 0 || n > 1000 {
+			n = 10
+		}
+		it := db.NewIterator(nil)
+		defer it.Close()
+		var keys []string
+		for ok := it.SeekGE([]byte(fields[1])); ok && len(keys) < n; ok = it.Next() {
+			if !strings.HasPrefix(string(it.Key()), fields[1]) {
+				break
+			}
+			keys = append(keys, string(it.Key()))
+		}
+		return "SCAN " + strings.Join(keys, " ") + " END"
+	case "STATS":
+		s := db.Stats()
+		return fmt.Sprintf("STATS writes=%d fsyncs=%d flushes=%d compactions=%d settled=%d",
+			s.Writes, s.Fsyncs, s.MemtableFlushes, s.Compactions, s.SettledPromotions)
+	default:
+		return "ERR unknown command"
+	}
+}
+
+func runDemo(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return fmt.Errorf("connect (is the server running?): %w", err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+
+	send := func(line string) string {
+		fmt.Fprintln(conn, line)
+		if !r.Scan() {
+			return "ERR connection closed"
+		}
+		return r.Text()
+	}
+	fmt.Println("> SET session:1 alice     ", send("SET session:1 alice"))
+	fmt.Println("> SET session:2 bob       ", send("SET session:2 bob"))
+	fmt.Println("> GET session:1           ", send("GET session:1"))
+	fmt.Println("> SCAN session: 10        ", send("SCAN session: 10"))
+	fmt.Println("> DEL session:1           ", send("DEL session:1"))
+	fmt.Println("> GET session:1           ", send("GET session:1"))
+	for i := 0; i < 1000; i++ {
+		send(fmt.Sprintf("SET bulk:%04d value-%d", i, i))
+	}
+	fmt.Println("> (1000 bulk SETs)")
+	fmt.Println("> STATS                   ", send("STATS"))
+	return nil
+}

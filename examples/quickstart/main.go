@@ -1,0 +1,77 @@
+// Quickstart: open a BoLT database on disk, write, read, batch, scan, and
+// inspect the engine counters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/bolt-lsm/bolt"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "bolt-quickstart")
+	_ = os.RemoveAll(dir)
+
+	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Single writes.
+	if err := db.Put([]byte("greeting"), []byte("hello, LSM")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greeting = %s\n", v)
+
+	// Atomic batches.
+	b := bolt.NewBatch()
+	for i := 0; i < 10; i++ {
+		b.Put([]byte(fmt.Sprintf("user:%03d", i)), []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	b.Delete([]byte("greeting"))
+	if err := db.Apply(b); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Get([]byte("greeting")); err != bolt.ErrNotFound {
+		log.Fatalf("expected ErrNotFound, got %v", err)
+	}
+
+	// Snapshot isolation.
+	snap := db.GetSnapshot()
+	db.Put([]byte("user:003"), []byte("mutated-later"))
+	old, err := db.GetAt([]byte("user:003"), snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:003 at snapshot = %s\n", old)
+	snap.Release()
+
+	// Range scans.
+	it := db.NewIterator(nil)
+	defer it.Close()
+	fmt.Println("scan user:000 .. user:005:")
+	for ok := it.SeekGE([]byte("user:000")); ok; ok = it.Next() {
+		if string(it.Key()) > "user:005" {
+			break
+		}
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	s := db.Stats()
+	fmt.Printf("\nengine: %d writes, %d fsyncs, %d flushes, %d compactions\n",
+		s.Writes, s.Fsyncs, s.MemtableFlushes, s.Compactions)
+	fmt.Printf("database directory: %s\n", dir)
+}

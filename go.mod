@@ -1,0 +1,3 @@
+module github.com/bolt-lsm/bolt
+
+go 1.22

@@ -1,0 +1,36 @@
+package batch
+
+import (
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+)
+
+// FuzzIterate feeds arbitrary bytes as a batch representation: decoding
+// must never panic; it either iterates cleanly or reports ErrCorrupt.
+func FuzzIterate(f *testing.F) {
+	good := New()
+	good.Put([]byte("key"), []byte("value"))
+	good.Delete([]byte("other"))
+	good.SetSeq(42)
+	f.Add(good.Repr())
+	f.Add(make([]byte, 12))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := FromRepr(data)
+		if err != nil {
+			return
+		}
+		n := 0
+		_ = b.Iterate(func(_ keys.Seq, _ keys.Kind, key, value []byte) error {
+			_ = key
+			_ = value
+			n++
+			if n > 1<<20 {
+				t.Fatal("runaway iteration")
+			}
+			return nil
+		})
+	})
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bolt-lsm/bolt"
+	"github.com/bolt-lsm/bolt/internal/ycsb"
+)
+
+// tinyScale makes smoke tests fast: sleeping disabled, tiny ops.
+var tinyScale = Scale{
+	Name: "tiny", LoadOps: 3000, RunOps: 1200, BigLoadFactor: 2,
+	ValueSize: 128, SizeDiv: 256, Threads: 4, TimeScale: -1,
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "large", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	s := ScaleMedium
+	o := s.Options(bolt.ProfileBoLT)
+	if o.MemTableBytes != (64<<20)/s.SizeDiv {
+		t.Errorf("memtable = %d", o.MemTableBytes)
+	}
+	if o.SSTableBytes != (2<<20)/s.SizeDiv {
+		t.Errorf("sstable = %d", o.SSTableBytes)
+	}
+	if o.LogicalSSTableBytes != (1<<20)/s.SizeDiv {
+		t.Errorf("lsst = %d", o.LogicalSSTableBytes)
+	}
+	if o.GroupCompactionBytes != (64<<20)/s.SizeDiv {
+		t.Errorf("group = %d", o.GroupCompactionBytes)
+	}
+	// Non-BoLT profiles get no logical SSTables.
+	if s.Options(bolt.ProfileRocksDB).LogicalSSTableBytes != 0 {
+		t.Error("rocks profile got logical sstables")
+	}
+	// div floors at 4 KiB.
+	tiny := Scale{SizeDiv: 1 << 30}
+	if tiny.div(1<<20) != 4096 {
+		t.Errorf("div floor = %d", tiny.div(1<<20))
+	}
+}
+
+func TestRunSequenceLoadOnly(t *testing.T) {
+	res, err := RunSequence(tinyScale.Options(bolt.ProfileLevelDB), tinyScale, ycsb.Zipfian, loadAOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, ok := res.Phases[ycsb.LoadA]
+	if !ok {
+		t.Fatal("no LoadA phase")
+	}
+	if la.Result.Ops != tinyScale.LoadOps {
+		t.Fatalf("ops = %d", la.Result.Ops)
+	}
+	if la.Fsyncs == 0 || la.BytesWritten == 0 {
+		t.Fatalf("phase deltas empty: %+v", la)
+	}
+	if res.Throughput(ycsb.WorkloadA) != 0 {
+		t.Fatal("unwanted phase recorded")
+	}
+}
+
+func TestRunSequenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sequence")
+	}
+	res, err := RunSequence(tinyScale.Options(bolt.ProfileBoLT), tinyScale, ycsb.Zipfian, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range figWorkloads {
+		ph, ok := res.Phases[w]
+		if !ok {
+			t.Fatalf("missing phase %s", w)
+		}
+		if ph.Result.Throughput <= 0 {
+			t.Fatalf("phase %s throughput %f", w, ph.Result.Throughput)
+		}
+	}
+	if res.FinalStats.Writes == 0 {
+		t.Fatal("final stats empty")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 10 {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, ok := ByID(e.ID); !ok {
+			t.Fatalf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+// TestEveryExperimentRunsAtTinyScale smoke-runs all nine figures.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow even tiny")
+	}
+	for _, e := range Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Params{Scale: tinyScale, Out: &buf}); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "#") || len(out) < 100 {
+				t.Fatalf("%s produced no report:\n%s", e.ID, out)
+			}
+		})
+	}
+}

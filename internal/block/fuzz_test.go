@@ -1,0 +1,29 @@
+package block
+
+import "testing"
+
+// FuzzReaderIter feeds arbitrary bytes as a block image: parsing and
+// iteration must never panic and always terminate.
+func FuzzReaderIter(f *testing.F) {
+	b := NewBuilder(4, 0)
+	b.Add(ik("alpha", 1), []byte("1"))
+	b.Add(ik("beta", 2), []byte("2"))
+	f.Add(b.Finish())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(data)
+		if err != nil {
+			return
+		}
+		it := r.Iter()
+		n := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			if n++; n > 1<<20 {
+				t.Fatal("runaway iteration")
+			}
+		}
+		it.Seek(ik("probe", 7))
+	})
+}

@@ -1,0 +1,137 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		var keys [][]byte
+		for i := 0; i < n; i++ {
+			keys = append(keys, key(i))
+		}
+		f := Build(keys, DefaultBitsPerKey)
+		for i := 0; i < n; i++ {
+			if !f.MayContain(key(i)) {
+				t.Fatalf("n=%d: false negative for key %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		keys = append(keys, key(i))
+	}
+	f := Build(keys, DefaultBitsPerKey)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(key(n + 1000000 + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key targets ~1%; allow generous slack.
+	if rate > 0.025 {
+		t.Errorf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := Build(nil, DefaultBitsPerKey)
+	if f.MayContain([]byte("anything")) {
+		t.Error("empty filter should reject (probabilistically certain with 64 zero bits)")
+	}
+	var nilFilter Filter
+	if nilFilter.MayContain([]byte("x")) {
+		t.Error("nil filter must reject")
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := func(keys [][]byte, probe []byte) bool {
+		filter := Build(keys, DefaultBitsPerKey)
+		for _, k := range keys {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVaryingBitsPerKey(t *testing.T) {
+	var keys [][]byte
+	for i := 0; i < 5000; i++ {
+		keys = append(keys, key(i))
+	}
+	prev := 1.1
+	for _, bpk := range []int{2, 5, 10, 15} {
+		f := Build(keys, bpk)
+		fp := 0
+		for i := 0; i < 5000; i++ {
+			if f.MayContain(key(1_000_000 + i)) {
+				fp++
+			}
+		}
+		rate := float64(fp) / 5000
+		if rate > prev+0.01 {
+			t.Errorf("FP rate should not grow with more bits: bpk=%d rate=%.4f prev=%.4f", bpk, rate, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestFilterSizeScalesWithKeys(t *testing.T) {
+	small := Build([][]byte{key(1)}, 10)
+	var keys [][]byte
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, key(i))
+	}
+	large := Build(keys, 10)
+	if len(large) <= len(small) {
+		t.Errorf("1000-key filter (%d B) not larger than 1-key filter (%d B)", len(large), len(small))
+	}
+	// ~10 bits per key -> ~1250 bytes for 1000 keys.
+	if len(large) < 1000 || len(large) > 2000 {
+		t.Errorf("unexpected filter size %d for 1000 keys at 10 bpk", len(large))
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	var keys [][]byte
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("user%016d", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(keys, DefaultBitsPerKey)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	var keys [][]byte
+	for i := 0; i < 10000; i++ {
+		keys = append(keys, key(i))
+	}
+	f := Build(keys, DefaultBitsPerKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(key(i % 20000))
+	}
+}

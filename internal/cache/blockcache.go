@@ -1,0 +1,34 @@
+package cache
+
+// BlockKey identifies a cached data block.
+type BlockKey struct {
+	TableID uint64
+	Offset  int64
+}
+
+// BlockCache is a byte-capacity LRU over decoded data blocks. It satisfies
+// sstable.BlockCache.
+type BlockCache struct {
+	lru *lru[BlockKey, []byte]
+}
+
+// NewBlockCache returns a block cache holding up to capacity bytes.
+func NewBlockCache(capacity int64) *BlockCache {
+	return &BlockCache{lru: newLRU[BlockKey, []byte](capacity, nil)}
+}
+
+// Get implements sstable.BlockCache.
+func (c *BlockCache) Get(tableID uint64, off int64) ([]byte, bool) {
+	return c.lru.get(BlockKey{tableID, off})
+}
+
+// Insert implements sstable.BlockCache.
+func (c *BlockCache) Insert(tableID uint64, off int64, data []byte) {
+	c.lru.insert(BlockKey{tableID, off}, data, int64(len(data))+64)
+}
+
+// UsedBytes returns the current charge.
+func (c *BlockCache) UsedBytes() int64 { return c.lru.usedCharge() }
+
+// Stats returns hit/miss counters.
+func (c *BlockCache) Stats() (hits, misses int64) { return c.lru.stats() }

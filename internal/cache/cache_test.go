@@ -1,0 +1,304 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/simdisk"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU[string, int](3, nil)
+	c.insert("a", 1, 1)
+	c.insert("b", 2, 1)
+	c.insert("c", 3, 1)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("get a = %d %v", v, ok)
+	}
+	// Inserting d evicts the LRU entry, which is now b.
+	c.insert("d", 4, 1)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s should be resident", k)
+		}
+	}
+}
+
+func TestLRUCharges(t *testing.T) {
+	var evicted []string
+	c := newLRU[string, string](100, func(k, _ string) { evicted = append(evicted, k) })
+	c.insert("big", "x", 80)
+	c.insert("small", "y", 10)
+	if c.usedCharge() != 90 {
+		t.Fatalf("used = %d", c.usedCharge())
+	}
+	c.insert("huge", "z", 60) // exceeds: evicts big (LRU)
+	if _, ok := c.get("big"); ok {
+		t.Fatal("big should be evicted")
+	}
+	if len(evicted) == 0 || evicted[0] != "big" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU[string, int](10, nil)
+	c.insert("a", 1, 2)
+	c.insert("a", 2, 5)
+	if v, _ := c.get("a"); v != 2 {
+		t.Fatalf("a = %d", v)
+	}
+	if c.usedCharge() != 5 {
+		t.Fatalf("used = %d", c.usedCharge())
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestLRURemoveAndClear(t *testing.T) {
+	evictions := 0
+	c := newLRU[int, int](10, func(int, int) { evictions++ })
+	for i := 0; i < 5; i++ {
+		c.insert(i, i, 1)
+	}
+	c.remove(2)
+	if _, ok := c.get(2); ok {
+		t.Fatal("2 not removed")
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+	c.clear()
+	if c.len() != 0 || evictions != 5 {
+		t.Fatalf("after clear: len=%d evictions=%d", c.len(), evictions)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU[int, int](128, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.insert(i%200, i, 1)
+				c.get((i + g) % 200)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestBlockCache(t *testing.T) {
+	bc := NewBlockCache(1000)
+	bc.Insert(1, 0, make([]byte, 400))
+	bc.Insert(1, 4096, make([]byte, 400))
+	if _, ok := bc.Get(1, 0); !ok {
+		t.Fatal("block 0 missing")
+	}
+	// Third insert exceeds byte capacity (each charge 464), evicting LRU.
+	bc.Insert(2, 0, make([]byte, 400))
+	if _, ok := bc.Get(1, 4096); ok {
+		// 1,0 was touched more recently than 1,4096.
+		t.Fatal("expected (1,4096) eviction")
+	}
+	hits, misses := bc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats: %d/%d", hits, misses)
+	}
+}
+
+// buildTableFile writes a single-table physical file and returns its meta.
+func buildTableFile(t testing.TB, fs vfs.FS, num uint64, n int) *manifest.FileMeta {
+	t.Helper()
+	f, err := fs.Create(manifest.TableFileName(num))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sstable.NewWriter(f, 0, sstable.Config{})
+	for i := 0; i < n; i++ {
+		k := keys.MakeInternalKey(nil, []byte(fmt.Sprintf("t%d-k%06d", num, i)), keys.Seq(i+1), keys.KindSet)
+		if err := w.Add(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+	f.Close()
+	return &manifest.FileMeta{
+		Num: num, PhysNum: num, Offset: 0, Size: info.Size,
+		Smallest: info.Smallest, Largest: info.Largest,
+	}
+}
+
+func TestTableCacheHitMiss(t *testing.T) {
+	fs := vfs.NewMem()
+	tc := NewTableCache(fs, 2, nil, nil, sstable.Config{})
+	defer tc.Close()
+	metas := []*manifest.FileMeta{
+		buildTableFile(t, fs, 1, 100),
+		buildTableFile(t, fs, 2, 100),
+		buildTableFile(t, fs, 3, 100),
+	}
+	for _, m := range metas {
+		r, release, err := tc.Get(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NumEntries() != 100 {
+			t.Fatalf("entries = %d", r.NumEntries())
+		}
+		release()
+	}
+	// Capacity 2: table 1 evicted; re-getting it is a miss.
+	before := tc.MetaBytesRead()
+	r, release, err := tc.Get(metas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if tc.MetaBytesRead() <= before {
+		t.Fatal("re-open after eviction should re-read metadata")
+	}
+	// A hit does not re-read metadata.
+	before = tc.MetaBytesRead()
+	_, release, err = tc.Get(metas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if tc.MetaBytesRead() != before {
+		t.Fatal("cache hit re-read metadata")
+	}
+	_ = r
+}
+
+func TestTableCacheReaderSurvivesEviction(t *testing.T) {
+	fs := vfs.NewMem()
+	tc := NewTableCache(fs, 1, nil, nil, sstable.Config{})
+	defer tc.Close()
+	m1 := buildTableFile(t, fs, 1, 50)
+	m2 := buildTableFile(t, fs, 2, 50)
+
+	r1, release1, err := tc.Get(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict table 1 by loading table 2 into the size-1 cache.
+	_, release2, err := tc.Get(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	// r1 must still be usable: its fd reference is held by release1.
+	it := r1.NewIter(sstable.IterOpts{})
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+	}
+	if n != 50 || it.Err() != nil {
+		t.Fatalf("evicted reader: n=%d err=%v", n, it.Err())
+	}
+	it.Close()
+	release1()
+}
+
+func TestFDCacheSharesDescriptors(t *testing.T) {
+	dev := simdisk.NewDevice(simdisk.AccountingProfile())
+	fs := vfs.NewSim(dev)
+	// Two logical tables in one physical file.
+	f, _ := fs.Create(manifest.TableFileName(9))
+	w1 := sstable.NewWriter(f, 0, sstable.Config{})
+	w1.Add(keys.MakeInternalKey(nil, []byte("a"), 1, keys.KindSet), []byte("1"))
+	info1, _ := w1.Finish()
+	w2 := sstable.NewWriter(f, info1.Size, sstable.Config{})
+	w2.Add(keys.MakeInternalKey(nil, []byte("b"), 2, keys.KindSet), []byte("2"))
+	info2, _ := w2.Finish()
+	f.Sync()
+	f.Close()
+	m1 := &manifest.FileMeta{Num: 101, PhysNum: 9, Offset: 0, Size: info1.Size, Smallest: info1.Smallest, Largest: info1.Largest}
+	m2 := &manifest.FileMeta{Num: 102, PhysNum: 9, Offset: info1.Size, Size: info2.Size, Smallest: info2.Smallest, Largest: info2.Largest}
+
+	fdc := NewFDCache(fs, 100)
+	defer fdc.Close()
+	tc := NewTableCache(fs, 100, fdc, nil, sstable.Config{})
+	defer tc.Close()
+
+	opsBefore := dev.Stats().MetadataOps
+	_, rel1, err := tc.Get(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1()
+	opsAfterFirst := dev.Stats().MetadataOps
+	_, rel2, err := tc.Get(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	opsAfterSecond := dev.Stats().MetadataOps
+
+	if opsAfterFirst == opsBefore {
+		t.Fatal("first open should cost a metadata op")
+	}
+	if opsAfterSecond != opsAfterFirst {
+		t.Fatalf("second logical table should reuse the descriptor: %d extra ops",
+			opsAfterSecond-opsAfterFirst)
+	}
+	hits, _ := fdc.Stats()
+	if hits == 0 {
+		t.Fatal("fd cache recorded no hits")
+	}
+}
+
+func TestFDCacheEvictClosesWhenUnused(t *testing.T) {
+	fs := vfs.NewMem()
+	buildTableFile(t, fs, 1, 10)
+	fdc := NewFDCache(fs, 10)
+	e, err := fdc.acquireEntry(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdc.Evict(1)
+	// Entry still referenced by us: file must be open.
+	buf := make([]byte, 1)
+	if _, err := e.file.ReadAt(buf, 0); err != nil {
+		t.Fatalf("file closed while referenced: %v", err)
+	}
+	e.release()
+	if _, err := e.file.ReadAt(buf, 0); err == nil {
+		t.Fatal("file should be closed after last release")
+	}
+}
+
+func TestTableCacheEvictByNumber(t *testing.T) {
+	fs := vfs.NewMem()
+	tc := NewTableCache(fs, 10, nil, nil, sstable.Config{})
+	defer tc.Close()
+	m := buildTableFile(t, fs, 1, 10)
+	_, release, err := tc.Get(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if tc.Len() != 1 {
+		t.Fatalf("len = %d", tc.Len())
+	}
+	tc.Evict(m.Num)
+	if tc.Len() != 0 {
+		t.Fatalf("len after evict = %d", tc.Len())
+	}
+}

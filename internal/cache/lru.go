@@ -1,0 +1,141 @@
+// Package cache implements the three caches of the engine:
+//
+//   - BlockCache: data blocks, capacity in bytes (LevelDB's block_cache).
+//   - TableCache: open table readers (index + bloom metadata), capacity in
+//     *number of tables* — the paper stresses that LevelDB sizes this cache
+//     by file count (max_open_files), so large SSTables consume far more
+//     memory per entry and a miss costs a metadata read proportional to the
+//     table size.
+//   - FDCache: open physical-file handles, keyed by physical file number.
+//     BoLT's +FC optimization caches descriptors per compaction file;
+//     without it every TableCache miss pays a filesystem open.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded LRU map with per-entry charges and an eviction
+// callback, shared by the concrete caches.
+type lru[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	entries  map[K]*list.Element
+	order    *list.List // front = most recent
+	onEvict  func(K, V)
+
+	hits, misses int64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key    K
+	value  V
+	charge int64
+}
+
+func newLRU[K comparable, V any](capacity int64, onEvict func(K, V)) *lru[K, V] {
+	return &lru[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*list.Element),
+		order:    list.New(),
+		onEvict:  onEvict,
+	}
+}
+
+func (c *lru[K, V]) get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[K, V]).value, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) insert(key K, value V, charge int64) {
+	var evicted []*lruEntry[K, V]
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*lruEntry[K, V])
+		c.used -= old.charge
+		old.value = value
+		old.charge = charge
+		c.used += charge
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&lruEntry[K, V]{key: key, value: value, charge: charge})
+		c.entries[key] = el
+		c.used += charge
+	}
+	for c.used > c.capacity && c.order.Len() > 1 {
+		back := c.order.Back()
+		e := back.Value.(*lruEntry[K, V])
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.charge
+		evicted = append(evicted, e)
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.onEvict(e.key, e.value)
+		}
+	}
+}
+
+func (c *lru[K, V]) remove(key K) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	var e *lruEntry[K, V]
+	if ok {
+		e = el.Value.(*lruEntry[K, V])
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.used -= e.charge
+	}
+	c.mu.Unlock()
+	if ok && c.onEvict != nil {
+		c.onEvict(e.key, e.value)
+	}
+}
+
+func (c *lru[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *lru[K, V]) usedCharge() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *lru[K, V]) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// clear evicts everything.
+func (c *lru[K, V]) clear() {
+	c.mu.Lock()
+	var all []*lruEntry[K, V]
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*lruEntry[K, V]))
+	}
+	c.entries = make(map[K]*list.Element)
+	c.order.Init()
+	c.used = 0
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range all {
+			c.onEvict(e.key, e.value)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// fdEntry is a shared physical-file handle with reference counting so an
+// evicted descriptor is only closed once no table reader uses it.
+type fdEntry struct {
+	mu     sync.Mutex
+	file   vfs.File
+	refs   int // table readers + (1 while resident in the fd cache)
+	closed bool
+}
+
+func (e *fdEntry) acquire() {
+	e.mu.Lock()
+	e.refs++
+	e.mu.Unlock()
+}
+
+func (e *fdEntry) release() {
+	e.mu.Lock()
+	e.refs--
+	shouldClose := e.refs == 0 && !e.closed
+	if shouldClose {
+		e.closed = true
+	}
+	e.mu.Unlock()
+	if shouldClose {
+		_ = e.file.Close()
+	}
+}
+
+// FDCache caches open physical-file handles keyed by physical file number.
+// This is BoLT's +FC element: with compaction files, many logical SSTables
+// share one descriptor, so the filesystem open cost is paid once per
+// compaction file instead of once per SSTable.
+type FDCache struct {
+	fs  vfs.FS
+	lru *lru[uint64, *fdEntry]
+}
+
+// NewFDCache returns an fd cache over fs holding up to capacity handles.
+func NewFDCache(fs vfs.FS, capacity int) *FDCache {
+	c := &FDCache{fs: fs}
+	c.lru = newLRU[uint64, *fdEntry](int64(capacity), func(_ uint64, e *fdEntry) {
+		e.release() // drop the cache's own reference
+	})
+	return c
+}
+
+// Acquire returns a referenced handle for physical file physNum, opening
+// it on miss. Callers must call release (via the returned entry) when done.
+func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
+	if e, ok := c.lru.get(physNum); ok {
+		e.acquire()
+		return e, nil
+	}
+	f, err := c.fs.Open(manifest.TableFileName(physNum))
+	if err != nil {
+		return nil, fmt.Errorf("cache: open table file %d: %w", physNum, err)
+	}
+	e := &fdEntry{file: f, refs: 1} // the cache's reference
+	e.acquire()                     // the caller's reference
+	c.lru.insert(physNum, e, 1)
+	return e, nil
+}
+
+// Evict drops the cached handle for physNum (called when the physical file
+// is deleted).
+func (c *FDCache) Evict(physNum uint64) { c.lru.remove(physNum) }
+
+// Stats returns hit/miss counters.
+func (c *FDCache) Stats() (hits, misses int64) { return c.lru.stats() }
+
+// Close evicts all handles.
+func (c *FDCache) Close() { c.lru.clear() }
+
+// Table is a cached open table: a reader plus its file reference.
+type Table struct {
+	Reader *sstable.Reader
+	fd     *fdEntry
+}
+
+func (t *Table) close() {
+	if t.fd != nil {
+		t.fd.release()
+	}
+}
+
+// TableCache caches open table readers keyed by logical table number. Its
+// capacity is a *table count*, mirroring LevelDB's max_open_files
+// semantics that the paper's TableCache analysis (Section 2.6) depends on.
+// A miss re-opens the table, which costs one metadata read of the table's
+// filter+index blocks — proportional to table size.
+type TableCache struct {
+	fs         vfs.FS
+	fdCache    *FDCache // nil means descriptors are opened per table
+	blockCache sstable.BlockCache
+	cfg        sstable.Config
+	lru        *lru[uint64, *Table]
+
+	// metaBytesRead accumulates the bytes of filter+index fetched on
+	// misses — the metadata-caching overhead measured in Figure 6.
+	mu            sync.Mutex
+	metaBytesRead int64
+}
+
+// NewTableCache returns a table cache holding up to capacity tables.
+// fdCache may be nil (the +FC optimization disabled): each cached table
+// then owns a private descriptor opened at miss time.
+func NewTableCache(fs vfs.FS, capacity int, fdCache *FDCache, blockCache sstable.BlockCache, cfg sstable.Config) *TableCache {
+	c := &TableCache{fs: fs, fdCache: fdCache, blockCache: blockCache, cfg: cfg}
+	c.lru = newLRU[uint64, *Table](int64(capacity), func(_ uint64, t *Table) {
+		t.close()
+	})
+	return c
+}
+
+// Get returns an open reader for meta plus a release function that must be
+// called once the caller is done (including after closing any iterator
+// built on the reader). The release reference keeps the underlying file
+// descriptor open even if the table is evicted from the cache meanwhile.
+func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), error) {
+	if t, ok := c.lru.get(meta.Num); ok {
+		t.fd.acquire()
+		return t.Reader, t.fd.release, nil
+	}
+	var (
+		fd  *fdEntry
+		f   vfs.File
+		err error
+	)
+	if c.fdCache != nil {
+		fd, err = c.fdCache.acquireEntry(meta.PhysNum)
+		if err != nil {
+			return nil, nil, err
+		}
+		f = fd.file
+	} else {
+		f, err = c.fs.Open(manifest.TableFileName(meta.PhysNum))
+		if err != nil {
+			return nil, nil, fmt.Errorf("cache: open table file %d: %w", meta.PhysNum, err)
+		}
+		fd = &fdEntry{file: f, refs: 1}
+	}
+	r, err := sstable.OpenReader(f, meta.Num, meta.Offset, meta.Size, c.blockCache)
+	if err != nil {
+		fd.release()
+		return nil, nil, fmt.Errorf("cache: open table %d: %w", meta.Num, err)
+	}
+	c.mu.Lock()
+	c.metaBytesRead += r.MetaSize()
+	c.mu.Unlock()
+	fd.acquire() // the caller's reference
+	c.lru.insert(meta.Num, &Table{Reader: r, fd: fd}, 1)
+	return r, fd.release, nil
+}
+
+// Evict drops the cached reader for a table (called when the table is
+// deleted).
+func (c *TableCache) Evict(num uint64) { c.lru.remove(num) }
+
+// MetaBytesRead returns the cumulative filter+index bytes fetched on
+// misses.
+func (c *TableCache) MetaBytesRead() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metaBytesRead
+}
+
+// Stats returns hit/miss counters.
+func (c *TableCache) Stats() (hits, misses int64) { return c.lru.stats() }
+
+// Len returns the number of cached tables.
+func (c *TableCache) Len() int { return c.lru.len() }
+
+// Close evicts everything.
+func (c *TableCache) Close() { c.lru.clear() }

@@ -1,0 +1,344 @@
+// Package compaction implements victim selection and output partitioning
+// for every engine profile:
+//
+//   - classic: one victim per compaction, chosen round-robin by the
+//     per-level compact pointer (LevelDB).
+//   - group: several victims per compaction up to a byte budget, so one
+//     barrier covers more data (BoLT +GC).
+//   - settled: victims are chosen to minimize next-level overlap, and
+//     victims with zero overlap are promoted by a MANIFEST-only edit
+//     (BoLT +STL).
+//   - fragmented: PebblesDB-style FLSM — a level may hold overlapping
+//     tables; compaction merges one overlapping pile and partitions the
+//     output at guard keys of the next level without rewriting it.
+package compaction
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"sort"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+)
+
+// Options parameterize the picker.
+type Options struct {
+	// L0Trigger is the L0 file count that triggers compaction.
+	L0Trigger int
+	// L1MaxBytes is the size limit of level 1; deeper levels multiply by
+	// Multiplier.
+	L1MaxBytes int64
+	// Multiplier is the per-level size growth factor (10 in LevelDB).
+	Multiplier float64
+	// GroupBytes is the victim byte budget per compaction; 0 selects a
+	// single victim (legacy behaviour).
+	GroupBytes int64
+	// Settled enables minimum-overlap victim selection with promotion of
+	// non-overlapping victims.
+	Settled bool
+	// Fragmented enables FLSM (guarded, overlapping) levels.
+	Fragmented bool
+	// GuardBaseBits and GuardShiftBits control guard density for
+	// fragmented levels: a user key is a guard of level L when its hash
+	// has at least GuardBaseBits - GuardShiftBits*(L-1) trailing zero bits.
+	GuardBaseBits  int
+	GuardShiftBits int
+	// L0ByPhysicalFiles scores level 0 by distinct physical files instead
+	// of table count: with BoLT compaction files one flush adds one
+	// physical file holding many logical SSTables, and the L0 trigger must
+	// stay comparable with legacy layouts.
+	L0ByPhysicalFiles bool
+}
+
+// LevelMaxBytes returns the byte limit of a level (level >= 1).
+func (o Options) LevelMaxBytes(level int) int64 {
+	limit := float64(o.L1MaxBytes)
+	for l := 1; l < level; l++ {
+		limit *= o.Multiplier
+	}
+	return int64(limit)
+}
+
+// IsGuard reports whether userKey is a guard key of the given level.
+// Guard density increases with depth so each level fragments into
+// proportionally more guards, following PebblesDB.
+func (o Options) IsGuard(userKey []byte, level int) bool {
+	need := o.GuardBaseBits - o.GuardShiftBits*(level-1)
+	if need <= 0 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write(userKey)
+	return bits.TrailingZeros64(h.Sum64()) >= need
+}
+
+// Compaction describes one unit of background work chosen by the picker.
+type Compaction struct {
+	// Level is the input level; OutputLevel is Level+1 except for
+	// fragmented last-level self-merges.
+	Level       int
+	OutputLevel int
+	// Inputs are the victims at Level that will be merge-rewritten.
+	Inputs []*manifest.FileMeta
+	// NextInputs are overlapping tables at OutputLevel merged with Inputs.
+	NextInputs []*manifest.FileMeta
+	// Settled are victims at Level with zero next-level overlap: they are
+	// promoted to OutputLevel by a MANIFEST edit alone — no data rewrite.
+	Settled []*manifest.FileMeta
+	// CutPoints are user keys at which output tables must be cut so no
+	// output's key range spans a settled (promoted) table's range.
+	CutPoints [][]byte
+	// Reason is a human-readable trigger description.
+	Reason string
+}
+
+// InputBytes returns the total bytes that will be read.
+func (c *Compaction) InputBytes() int64 {
+	var total int64
+	for _, f := range c.Inputs {
+		total += f.Size
+	}
+	for _, f := range c.NextInputs {
+		total += f.Size
+	}
+	return total
+}
+
+// Range returns the user-key span of the rewritten inputs (nil, nil if the
+// compaction rewrites nothing).
+func (c *Compaction) Range() (smallest, largest []byte) {
+	for _, f := range append(append([]*manifest.FileMeta{}, c.Inputs...), c.NextInputs...) {
+		if smallest == nil || keys.CompareUser(f.Smallest.UserKey(), smallest) < 0 {
+			smallest = f.Smallest.UserKey()
+		}
+		if largest == nil || keys.CompareUser(f.Largest.UserKey(), largest) > 0 {
+			largest = f.Largest.UserKey()
+		}
+	}
+	return smallest, largest
+}
+
+// Picker chooses compactions over versions.
+type Picker struct {
+	Opts Options
+}
+
+// Score returns the compaction pressure of each level: >= 1 means the
+// level needs compaction. L0 scores by file count (physical files when
+// L0ByPhysicalFiles is set), others by bytes.
+func (p *Picker) Score(v *manifest.Version, level int) float64 {
+	if level == 0 {
+		n := len(v.Levels[0])
+		if p.Opts.L0ByPhysicalFiles {
+			seen := make(map[uint64]struct{}, n)
+			for _, f := range v.Levels[0] {
+				seen[f.PhysNum] = struct{}{}
+			}
+			n = len(seen)
+		}
+		return float64(n) / float64(p.Opts.L0Trigger)
+	}
+	return float64(v.LevelBytes(level)) / float64(p.Opts.LevelMaxBytes(level))
+}
+
+// MaxScoreLevel returns the level with the highest score and that score.
+// The last level never compacts downward.
+func (p *Picker) MaxScoreLevel(v *manifest.Version) (int, float64) {
+	bestLevel, bestScore := -1, 0.0
+	for level := 0; level < manifest.NumLevels-1; level++ {
+		if s := p.Score(v, level); s > bestScore {
+			bestLevel, bestScore = level, s
+		}
+	}
+	return bestLevel, bestScore
+}
+
+// Pick returns the next compaction, or nil when no level is over
+// threshold. compactPointers carries the per-level round-robin cursors.
+func (p *Picker) Pick(v *manifest.Version, compactPointers func(level int) keys.InternalKey) *Compaction {
+	level, score := p.MaxScoreLevel(v)
+	if level < 0 || score < 1.0 {
+		return nil
+	}
+	if p.Opts.Fragmented {
+		return p.pickFragmented(v, level)
+	}
+	if level == 0 {
+		return p.pickL0(v)
+	}
+	if p.Opts.Settled {
+		return p.pickSettled(v, level)
+	}
+	return p.pickLeveled(v, level, compactPointers(level))
+}
+
+// pickL0 merges all level-0 tables with their level-1 overlaps. L0 tables
+// overlap each other, so taking them all at once is both simplest and what
+// a 64 MB-memtable configuration wants (the whole flush burst moves down
+// in one barrier-cheap compaction under BoLT).
+func (p *Picker) pickL0(v *manifest.Version) *Compaction {
+	c := &Compaction{Level: 0, OutputLevel: 1, Reason: "L0 file count"}
+	c.Inputs = append(c.Inputs, v.Levels[0]...)
+	smallest, largest := c.Range()
+	c.NextInputs = v.Overlaps(1, smallest, largest)
+	return c
+}
+
+// pickLeveled implements classic and group selection: victims are taken in
+// key order starting after the compact pointer until the byte budget is
+// met (one file when GroupBytes is zero).
+func (p *Picker) pickLeveled(v *manifest.Version, level int, pointer keys.InternalKey) *Compaction {
+	files := v.Levels[level]
+	if len(files) == 0 {
+		return nil
+	}
+	start := 0
+	if pointer != nil {
+		start = sort.Search(len(files), func(i int) bool {
+			return keys.Compare(files[i].Largest, pointer) > 0
+		})
+		if start == len(files) {
+			start = 0
+		}
+	}
+	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: "level size"}
+	var budget int64
+	for i := 0; i < len(files); i++ {
+		f := files[(start+i)%len(files)]
+		c.Inputs = append(c.Inputs, f)
+		budget += f.Size
+		if p.Opts.GroupBytes == 0 || budget >= p.Opts.GroupBytes {
+			break
+		}
+	}
+	// Keep inputs in key order (wrap-around may have disordered them).
+	sortBySmallest(c.Inputs)
+	smallest, largest := c.Range()
+	c.NextInputs = v.Overlaps(level+1, smallest, largest)
+	return c
+}
+
+// pickSettled implements BoLT's settled compaction: victims are the files
+// with the least next-level overlap, up to the group byte budget. Victims
+// with zero overlap are promoted without rewrite.
+func (p *Picker) pickSettled(v *manifest.Version, level int) *Compaction {
+	files := v.Levels[level]
+	if len(files) == 0 {
+		return nil
+	}
+	type scored struct {
+		f       *manifest.FileMeta
+		overlap int64
+	}
+	cands := make([]scored, 0, len(files))
+	for _, f := range files {
+		var ov int64
+		for _, nf := range v.Overlaps(level+1, f.Smallest.UserKey(), f.Largest.UserKey()) {
+			ov += nf.Size
+		}
+		cands = append(cands, scored{f, ov})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].overlap < cands[j].overlap })
+
+	budget := p.Opts.GroupBytes
+	if budget == 0 {
+		budget = 1 // degenerate: single victim
+	}
+	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: "level size (settled)"}
+	var taken int64
+	for _, s := range cands {
+		if taken >= budget {
+			break
+		}
+		taken += s.f.Size
+		if s.overlap == 0 {
+			c.Settled = append(c.Settled, s.f)
+		} else {
+			c.Inputs = append(c.Inputs, s.f)
+		}
+	}
+	sortBySmallest(c.Inputs)
+	sortBySmallest(c.Settled)
+	if len(c.Inputs) > 0 {
+		smallest, largest := c.Range()
+		c.NextInputs = v.Overlaps(level+1, smallest, largest)
+		// Outputs must not span a promoted table's key range.
+		for _, s := range c.Settled {
+			c.CutPoints = append(c.CutPoints, s.Smallest.UserKey())
+		}
+	}
+	return c
+}
+
+// pickFragmented implements FLSM selection: the heaviest overlapping pile
+// (connected component of range-overlapping tables) in the level is merged
+// and pushed down; the next level is NOT read (its tables are left in
+// place — the defining FLSM trait). Compactions out of the last level are
+// in-place merges that de-overlap the pile.
+func (p *Picker) pickFragmented(v *manifest.Version, level int) *Compaction {
+	files := v.Levels[level]
+	if len(files) == 0 {
+		return nil
+	}
+	var (
+		best      []*manifest.FileMeta
+		bestBytes int64
+	)
+	if level == 0 {
+		best = append(best, files...)
+	} else {
+		sorted := append([]*manifest.FileMeta(nil), files...)
+		sortBySmallest(sorted)
+		var cur []*manifest.FileMeta
+		var curBytes int64
+		var curMax []byte
+		flush := func() {
+			// A single-table pile has nothing to merge; pushing it down
+			// alone is still useful to relieve the level, so allow it.
+			if curBytes > bestBytes {
+				best = append([]*manifest.FileMeta(nil), cur...)
+				bestBytes = curBytes
+			}
+		}
+		for _, f := range sorted {
+			if len(cur) > 0 && keys.CompareUser(f.Smallest.UserKey(), curMax) <= 0 {
+				cur = append(cur, f)
+				curBytes += f.Size
+				if keys.CompareUser(f.Largest.UserKey(), curMax) > 0 {
+					curMax = f.Largest.UserKey()
+				}
+				continue
+			}
+			flush()
+			cur = cur[:0]
+			cur = append(cur, f)
+			curBytes = f.Size
+			curMax = f.Largest.UserKey()
+		}
+		flush()
+	}
+	out := level + 1
+	reason := "level size (fragmented)"
+	if level == manifest.NumLevels-2 {
+		// Piles pushed into the last level would accumulate forever; merge
+		// the pile with its last-level overlaps instead (PebblesDB's
+		// final-level compaction behaves this way).
+		c := &Compaction{Level: level, OutputLevel: out, Reason: reason}
+		c.Inputs = best
+		smallest, largest := c.Range()
+		c.NextInputs = v.Overlaps(out, smallest, largest)
+		return c
+	}
+	return &Compaction{Level: level, OutputLevel: out, Inputs: best, Reason: reason}
+}
+
+func sortBySmallest(files []*manifest.FileMeta) {
+	sort.Slice(files, func(i, j int) bool {
+		c := keys.Compare(files[i].Smallest, files[j].Smallest)
+		if c != 0 {
+			return c < 0
+		}
+		return files[i].Num < files[j].Num
+	})
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/bolt-lsm/bolt/internal/compaction"
+	"github.com/bolt-lsm/bolt/internal/iterator"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/memtable"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/wal"
+)
+
+// CompactRange synchronously compacts every table overlapping the user-key
+// range [start, limit] (nil = unbounded) down the tree, level by level,
+// after flushing the current memtable. Tools use it to settle a database
+// into its minimal shape; nil,nil compacts everything.
+func (db *DB) CompactRange(start, limit []byte) error {
+	// Flush current memtable content first so it participates.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if !db.mem.Empty() {
+		if err := db.forceMemtableSwitchLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.maybeScheduleWork()
+		db.cond.Wait()
+	}
+
+	// Exclude the background picker while the manual compaction holds
+	// references to current-version inputs; otherwise both could compact
+	// the same tables.
+	db.manualActive = true
+	defer func() {
+		db.manualActive = false
+		db.maybeScheduleWork()
+	}()
+
+	for level := 0; level < manifest.NumLevels-1; level++ {
+		for db.bgErr == nil && !db.closed {
+			// Wait for background work to quiesce so manual compactions
+			// do not race the picker over the same inputs.
+			for (db.flushActive || db.compactActive) && db.bgErr == nil && !db.closed {
+				db.cond.Wait()
+			}
+			if db.bgErr != nil || db.closed {
+				break
+			}
+			v := db.vs.Current()
+			inputs := v.Overlaps(level, start, limit)
+			if len(inputs) == 0 {
+				break
+			}
+			if level == 0 {
+				// Level 0 files overlap each other; take the closure.
+				inputs = l0OverlapClosure(v.Levels[0], inputs[0])
+			}
+			c := &compaction.Compaction{
+				Level:       level,
+				OutputLevel: level + 1,
+				Inputs:      inputs,
+				Reason:      "manual",
+			}
+			smallest, largest := c.Range()
+			c.NextInputs = v.Overlaps(level+1, smallest, largest)
+			db.compactLocked(c)
+			db.cond.Broadcast()
+			if level > 0 {
+				break // one pass per sorted level is exhaustive
+			}
+		}
+	}
+	err := db.bgErr
+	db.mu.Unlock()
+	return err
+}
+
+// forceMemtableSwitchLocked rotates the memtable regardless of its size so
+// a flush of current contents can be awaited.
+func (db *DB) forceMemtableSwitchLocked() error {
+	for db.imm != nil && db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	newLogNum := db.vs.NextFileNum()
+	newWal, err := wal.NewWriter(db.fs, manifest.LogFileName(newLogNum))
+	if err != nil {
+		return err
+	}
+	_ = db.walW.Close()
+	db.obsoleteLogs = append(db.obsoleteLogs, db.walNum)
+	db.walNum = newLogNum
+	db.walW = newWal
+	db.imm = db.mem
+	db.mem = memtable.New()
+	db.met.MemtableSwitch.Add(1)
+	db.maybeScheduleWork()
+	return nil
+}
+
+// maybeScheduleWork spawns background workers as needed. Called with mu
+// held whenever flushable or compactable state appears.
+func (db *DB) maybeScheduleWork() {
+	if db.closed || db.bgErr != nil || db.manualActive {
+		return
+	}
+	if db.cfg.SeparateFlushThread {
+		if db.imm != nil && !db.flushActive {
+			db.flushActive = true
+			go db.flushLoop()
+		}
+		if !db.compactActive && db.needsCompactionLocked() {
+			db.compactActive = true
+			go db.compactLoop(false)
+		}
+	} else if !db.compactActive && (db.imm != nil || db.needsCompactionLocked()) {
+		db.compactActive = true
+		go db.compactLoop(true)
+	}
+}
+
+func (db *DB) needsCompactionLocked() bool {
+	if db.seekCompactFile != nil {
+		return true
+	}
+	_, score := db.picker.MaxScoreLevel(db.vs.Current())
+	return score >= 1.0
+}
+
+// flushLoop is the dedicated flush worker (SeparateFlushThread profiles).
+func (db *DB) flushLoop() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for !db.closed && db.bgErr == nil && db.imm != nil {
+		db.flushLocked()
+		db.cond.Broadcast()
+	}
+	db.flushActive = false
+	db.cond.Broadcast()
+}
+
+// compactLoop is the main background worker. With handleFlush it also
+// drains memtable flushes (single-background-thread profiles).
+func (db *DB) compactLoop(handleFlush bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for !db.closed && db.bgErr == nil {
+		if handleFlush && db.imm != nil {
+			db.flushLocked()
+			db.cond.Broadcast()
+			continue
+		}
+		c := db.pickCompactionLocked()
+		if c == nil {
+			break
+		}
+		db.compactLocked(c)
+		db.cond.Broadcast()
+	}
+	db.compactActive = false
+	db.cond.Broadcast()
+}
+
+// pickCompactionLocked returns the next compaction: a pending seek
+// compaction if its victim is still current, else the picker's choice.
+func (db *DB) pickCompactionLocked() *compaction.Compaction {
+	v := db.vs.Current()
+	if f := db.seekCompactFile; f != nil {
+		level := db.seekCompactLevel
+		db.seekCompactFile = nil
+		if level < manifest.NumLevels-1 && !db.cfg.Fragmented {
+			for _, cur := range v.Levels[level] {
+				if cur == f {
+					db.met.SeekCompactions.Add(1)
+					c := &compaction.Compaction{
+						Level:       level,
+						OutputLevel: level + 1,
+						Inputs:      []*manifest.FileMeta{f},
+						Reason:      "seek",
+					}
+					if level == 0 {
+						// Level-0 files overlap each other: compacting one
+						// without its overlapping siblings would leave older
+						// versions above newer ones. Expand to the overlap
+						// closure, as LevelDB does.
+						c.Inputs = l0OverlapClosure(v.Levels[0], f)
+					}
+					smallest, largest := c.Range()
+					c.NextInputs = v.Overlaps(level+1, smallest, largest)
+					return c
+				}
+			}
+		}
+	}
+	return db.picker.Pick(v, db.vs.CompactPointer)
+}
+
+// l0OverlapClosure returns the transitive closure of level-0 files whose
+// user-key ranges overlap seed's range (growing the range as files join).
+func l0OverlapClosure(files []*manifest.FileMeta, seed *manifest.FileMeta) []*manifest.FileMeta {
+	smallest := seed.Smallest.UserKey()
+	largest := seed.Largest.UserKey()
+	in := map[uint64]bool{seed.Num: true}
+	out := []*manifest.FileMeta{seed}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range files {
+			if in[f.Num] || !f.OverlapsUser(smallest, largest) {
+				continue
+			}
+			in[f.Num] = true
+			out = append(out, f)
+			if keys.CompareUser(f.Smallest.UserKey(), smallest) < 0 {
+				smallest = f.Smallest.UserKey()
+			}
+			if keys.CompareUser(f.Largest.UserKey(), largest) > 0 {
+				largest = f.Largest.UserKey()
+			}
+			changed = true
+		}
+	}
+	return out
+}
+
+// flushLocked converts the immutable memtable into level-0 tables. Called
+// with mu held; releases it during I/O.
+func (db *DB) flushLocked() {
+	imm := db.imm
+	logNum := db.walNum // stable: imm != nil blocks further switches
+	db.met.MemtableFlushes.Add(1)
+
+	db.mu.Unlock()
+	metas, err := db.writeTables(imm.NewIter(), 0)
+	db.mu.Lock()
+	if err != nil {
+		db.bgErr = fmt.Errorf("core: flush: %w", err)
+		return
+	}
+
+	edit := &manifest.VersionEdit{}
+	edit.SetLogNum(logNum)
+	for _, m := range metas {
+		edit.AddFile(0, m)
+	}
+	if err := db.logAndApplyLocked(edit); err != nil {
+		db.bgErr = fmt.Errorf("core: flush commit: %w", err)
+		return
+	}
+	for _, m := range metas {
+		db.physRefs[m.PhysNum]++
+	}
+	db.met.TablesCreated.Add(int64(len(metas)))
+	db.imm = nil
+
+	logs := db.obsoleteLogs
+	db.obsoleteLogs = nil
+	db.mu.Unlock()
+	for _, num := range logs {
+		_ = db.fs.Remove(manifest.LogFileName(num))
+	}
+	db.mu.Lock()
+	db.verifyInvariantsLocked()
+	db.maybeScheduleWork()
+}
+
+// compactLocked executes one compaction. Called with mu held; releases it
+// during I/O.
+func (db *DB) compactLocked(c *compaction.Compaction) {
+	db.met.Compactions.Add(1)
+	v := db.vs.Current()
+	v.Ref() // pin input tables for the duration
+	smallestSnap := db.smallestSnapshotLocked()
+	dropTombstones := db.canDropTombstonesLocked(v, c)
+
+	var (
+		metas []*manifest.FileMeta
+		err   error
+	)
+	if len(c.Inputs)+len(c.NextInputs) > 0 {
+		db.mu.Unlock()
+		metas, err = db.writeCompactionTables(c, smallestSnap, dropTombstones)
+		db.mu.Lock()
+	}
+	v.Unref()
+	if err != nil {
+		db.bgErr = fmt.Errorf("core: compaction: %w", err)
+		return
+	}
+
+	edit := &manifest.VersionEdit{}
+	for _, f := range c.Inputs {
+		edit.DeleteFile(c.Level, f.Num)
+	}
+	for _, f := range c.NextInputs {
+		edit.DeleteFile(c.OutputLevel, f.Num)
+	}
+	for _, f := range c.Settled {
+		// The settled promotion: a MANIFEST-only move, no data rewrite.
+		edit.DeleteFile(c.Level, f.Num)
+		edit.AddFile(c.OutputLevel, f)
+	}
+	for _, m := range metas {
+		edit.AddFile(c.OutputLevel, m)
+	}
+	if !db.cfg.Fragmented && !db.cfg.SettledCompaction && c.Level > 0 && len(c.Inputs) > 0 {
+		last := c.Inputs[len(c.Inputs)-1]
+		edit.CompactPointers = append(edit.CompactPointers, manifest.CompactPointer{
+			Level: c.Level,
+			Key:   last.Largest,
+		})
+	}
+
+	if err := db.logAndApplyLocked(edit); err != nil {
+		db.bgErr = fmt.Errorf("core: compaction commit: %w", err)
+		return
+	}
+
+	for _, m := range metas {
+		db.physRefs[m.PhysNum]++
+	}
+	var outBytes int64
+	for _, m := range metas {
+		outBytes += m.Size
+	}
+	db.met.CompactionBytesIn.Add(c.InputBytes())
+	db.met.CompactionBytesOut.Add(outBytes)
+	db.met.TablesCreated.Add(int64(len(metas)))
+	db.met.SettledPromotions.Add(int64(len(c.Settled)))
+
+	db.zombies = append(db.zombies, c.Inputs...)
+	db.zombies = append(db.zombies, c.NextInputs...)
+	db.reclaimZombiesLocked()
+	db.verifyInvariantsLocked()
+	db.maybeScheduleWork()
+}
+
+// writeCompactionTables merges the compaction inputs into output tables,
+// applying the snapshot-aware drop rules. Called without mu.
+func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.Seq, dropTombstones bool) ([]*manifest.FileMeta, error) {
+	iters := make([]iterator.Iterator, 0, len(c.Inputs)+len(c.NextInputs))
+	openIter := func(f *manifest.FileMeta) error {
+		r, release, err := db.tableCache.Get(f)
+		if err != nil {
+			return err
+		}
+		iters = append(iters, &releasingIter{
+			Iterator: r.NewIter(sstable.IterOpts{Readahead: compactionReadahead}),
+			release:  release,
+		})
+		return nil
+	}
+	for _, f := range c.Inputs {
+		if err := openIter(f); err != nil {
+			closeAll(iters)
+			return nil, err
+		}
+	}
+	for _, f := range c.NextInputs {
+		if err := openIter(f); err != nil {
+			closeAll(iters)
+			return nil, err
+		}
+	}
+	merged := iterator.NewMerging(iters...)
+	defer merged.Close()
+
+	out := db.newTableOutput(c.OutputLevel, c.CutPoints)
+	var lastUser []byte
+	lastSeqForKey := keys.MaxSeq
+	haveUser := false
+	for ok := merged.First(); ok; ok = merged.Next() {
+		ikey := merged.Key()
+		uk := ikey.UserKey()
+		if !haveUser || keys.CompareUser(uk, lastUser) != 0 {
+			haveUser = true
+			lastUser = append(lastUser[:0], uk...)
+			lastSeqForKey = keys.MaxSeq
+		}
+		drop := false
+		if lastSeqForKey <= smallestSnap {
+			// A newer version of this key is already visible to the oldest
+			// snapshot; this one can never be read again.
+			drop = true
+		} else if ikey.Kind() == keys.KindDelete && ikey.Seq() <= smallestSnap && dropTombstones {
+			drop = true
+		}
+		lastSeqForKey = ikey.Seq()
+		if drop {
+			continue
+		}
+		if err := out.add(ikey, merged.Value()); err != nil {
+			out.abort()
+			return nil, err
+		}
+	}
+	if err := merged.Err(); err != nil {
+		out.abort()
+		return nil, err
+	}
+	return out.finish()
+}
+
+// releasingIter couples a table iterator with its table-cache release.
+type releasingIter struct {
+	iterator.Iterator
+	release func()
+}
+
+func (r *releasingIter) Close() error {
+	err := r.Iterator.Close()
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	return err
+}
+
+func closeAll(iters []iterator.Iterator) {
+	for _, it := range iters {
+		_ = it.Close()
+	}
+}
+
+// canDropTombstonesLocked reports whether tombstones written by c can be
+// elided: nothing below the output level (or beside it, for fragmented
+// levels) may hold an older version of a key in the compaction's range.
+func (db *DB) canDropTombstonesLocked(v *manifest.Version, c *compaction.Compaction) bool {
+	smallest, largest := c.Range()
+	if smallest == nil {
+		return false
+	}
+	for level := c.OutputLevel + 1; level < manifest.NumLevels; level++ {
+		if len(v.Overlaps(level, smallest, largest)) > 0 {
+			return false
+		}
+	}
+	if db.cfg.Fragmented {
+		merged := make(map[uint64]struct{}, len(c.NextInputs))
+		for _, f := range c.NextInputs {
+			merged[f.Num] = struct{}{}
+		}
+		for _, f := range v.Levels[c.OutputLevel] {
+			if _, ok := merged[f.Num]; ok {
+				continue
+			}
+			if f.OverlapsUser(smallest, largest) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// logAndApplyLocked commits edit with the MANIFEST barrier paid outside
+// the engine mutex. Called with mu held; mu is held again on return.
+func (db *DB) logAndApplyLocked(edit *manifest.VersionEdit) error {
+	db.mu.Unlock()
+	db.manifestMu.Lock()
+	db.mu.Lock()
+	p := db.vs.Prepare(edit)
+	db.mu.Unlock()
+	err := db.vs.CommitPrepared(p)
+	db.mu.Lock()
+	if err == nil {
+		db.vs.Install(p)
+	}
+	db.manifestMu.Unlock()
+	return err
+}
+
+// reclaimZombiesLocked deletes tables no longer referenced by any live
+// version: whole physical files are unlinked; dead logical SSTables inside
+// still-live compaction files get their byte ranges hole-punched, without
+// any barrier (the BoLT space-reclamation path). Called with mu held;
+// releases it for the file operations.
+func (db *DB) reclaimZombiesLocked() {
+	if len(db.zombies) == 0 {
+		return
+	}
+	live := db.vs.LiveTables()
+	var keep []*manifest.FileMeta
+	type punch struct {
+		phys      uint64
+		off, size int64
+	}
+	var punches []punch
+	var removals []uint64
+	for _, z := range db.zombies {
+		if _, isLive := live[z.Num]; isLive {
+			keep = append(keep, z)
+			continue
+		}
+		db.tableCache.Evict(z.Num)
+		db.met.TablesDeleted.Add(1)
+		db.physRefs[z.PhysNum]--
+		if db.physRefs[z.PhysNum] <= 0 {
+			delete(db.physRefs, z.PhysNum)
+			if db.fdCache != nil {
+				db.fdCache.Evict(z.PhysNum)
+			}
+			removals = append(removals, z.PhysNum)
+		} else if db.cfg.compactionFileMode() {
+			punches = append(punches, punch{z.PhysNum, z.Offset, z.Size})
+		}
+	}
+	db.zombies = keep
+
+	if len(punches) == 0 && len(removals) == 0 {
+		return
+	}
+	db.mu.Unlock()
+	for _, num := range removals {
+		_ = db.fs.Remove(manifest.TableFileName(num))
+	}
+	for _, p := range punches {
+		// Punching is barrier-free and best-effort: on a read-only OS
+		// handle it degrades to a no-op; the Mem backend reclaims exactly.
+		if f, err := db.fs.Open(manifest.TableFileName(p.phys)); err == nil {
+			_ = f.PunchHole(p.off, p.size)
+			_ = f.Close()
+		}
+	}
+	db.mu.Lock()
+}
+
+// verifyInvariantsLocked re-checks the version layout when the test hook
+// is enabled.
+func (db *DB) verifyInvariantsLocked() {
+	if !db.cfg.VerifyInvariants || db.bgErr != nil {
+		return
+	}
+	if err := db.checkVersionInvariants(db.vs.Current()); err != nil {
+		db.bgErr = err
+	}
+}

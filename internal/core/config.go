@@ -1,0 +1,169 @@
+// Package core implements the LSM-tree engine. One engine serves every
+// system in the paper's evaluation — LevelDB, HyperLevelDB, RocksDB,
+// PebblesDB, BoLT, and HyperBoLT — selected through Config. The BoLT
+// elements (compaction files, logical SSTables, group compaction, settled
+// compaction, the FD cache) are individually toggleable so the Figure 12
+// ablation (+LS / +GC / +STL / +FC) is exactly reproducible.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config parameterizes the engine. ApplyDefaults fills zero fields.
+type Config struct {
+	// --- Sizing ---
+
+	// MemTableBytes is the write-buffer size (the paper uses 64 MB).
+	MemTableBytes int64
+	// MaxSSTableBytes is the physical SSTable target size in legacy mode
+	// (2 MB LevelDB, 64 MB RocksDB) and the upper bound of one output in
+	// variable-size profiles.
+	MaxSSTableBytes int64
+	// LogicalSSTableBytes enables BoLT's compaction files: when positive,
+	// every flush and compaction writes one physical file partitioned into
+	// logical SSTables of this size (the paper uses 1 MB), synced with a
+	// single barrier. Zero selects legacy one-file-per-SSTable layout.
+	LogicalSSTableBytes int64
+	// BlockSize is the data block size (4 KiB).
+	BlockSize int
+	// EntryPadding models a less compact record format (see DESIGN.md —
+	// used to reproduce the LevelDB-vs-RocksDB format-efficiency gap of
+	// Figure 15c).
+	EntryPadding int
+	// BloomBitsPerKey configures table filters (paper: 10).
+	BloomBitsPerKey int
+
+	// --- Level shape & governors ---
+
+	// L0CompactionTrigger is the L0 file count that schedules compaction.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger makes writers sleep 1 ms per write above this L0
+	// file count; 0 disables (HyperLevelDB removes the governor).
+	L0SlowdownTrigger int
+	// L0StopTrigger blocks writers above this L0 file count; 0 disables.
+	L0StopTrigger int
+	// L1MaxBytes is the level-1 size limit (10 MB in LevelDB, 256 MB in
+	// RocksDB); deeper levels grow by LevelMultiplier.
+	L1MaxBytes int64
+	// LevelMultiplier is the per-level growth factor (10).
+	LevelMultiplier float64
+
+	// --- BoLT elements ---
+
+	// GroupCompactionBytes is the victim byte budget per compaction (+GC;
+	// the paper settles on 64 MB). Zero selects single-victim compactions.
+	GroupCompactionBytes int64
+	// SettledCompaction selects minimum-overlap victims and promotes
+	// non-overlapping ones without rewrite (+STL).
+	SettledCompaction bool
+	// FDCache caches physical-file descriptors across tables (+FC).
+	FDCache bool
+
+	// --- Baseline behaviours ---
+
+	// Fragmented enables PebblesDB-style FLSM levels (overlapping tables
+	// within a level, guard-partitioned compaction outputs, no next-level
+	// rewrite).
+	Fragmented bool
+	// GuardBaseBits/GuardShiftBits control guard density (see compaction).
+	GuardBaseBits  int
+	GuardShiftBits int
+	// ConcurrentWriters lets each queued writer insert its own batch into
+	// the memtable in parallel after the leader logs the group (the
+	// HyperLevelDB write path); otherwise the leader inserts everything.
+	ConcurrentWriters bool
+	// SeekCompaction enables LevelDB's read-triggered compaction.
+	SeekCompaction bool
+	// SeparateFlushThread dedicates a second background goroutine to
+	// memtable flushes (RocksDB's flush/compaction thread split).
+	SeparateFlushThread bool
+
+	// --- Caches ---
+
+	// TableCacheEntries is the TableCache capacity in tables
+	// (max_open_files semantics; paper experiments use 32,000).
+	TableCacheEntries int
+	// BlockCacheBytes is the BlockCache capacity (8 MB LevelDB default).
+	BlockCacheBytes int64
+
+	// --- Durability ---
+
+	// SyncWAL syncs the log on every commit. The paper (like the YCSB
+	// default) runs with asynchronous WAL writes.
+	SyncWAL bool
+
+	// --- Testing hooks ---
+
+	// VerifyInvariants re-checks version invariants after every flush and
+	// compaction. Tests enable it; benchmarks leave it off.
+	VerifyInvariants bool
+}
+
+// ApplyDefaults fills unset fields with LevelDB-like defaults.
+func (c *Config) ApplyDefaults() {
+	if c.MemTableBytes <= 0 {
+		c.MemTableBytes = 4 << 20
+	}
+	if c.MaxSSTableBytes <= 0 {
+		c.MaxSSTableBytes = 2 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.BloomBitsPerKey == 0 {
+		c.BloomBitsPerKey = 10
+	}
+	if c.L0CompactionTrigger <= 0 {
+		c.L0CompactionTrigger = 4
+	}
+	if c.L1MaxBytes <= 0 {
+		c.L1MaxBytes = 10 << 20
+	}
+	if c.LevelMultiplier <= 0 {
+		c.LevelMultiplier = 10
+	}
+	if c.GuardBaseBits == 0 {
+		c.GuardBaseBits = 14
+	}
+	if c.GuardShiftBits == 0 {
+		c.GuardShiftBits = 3
+	}
+	if c.TableCacheEntries <= 0 {
+		c.TableCacheEntries = 1000
+	}
+	if c.BlockCacheBytes <= 0 {
+		c.BlockCacheBytes = 8 << 20
+	}
+}
+
+// Validate rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.L0StopTrigger > 0 && c.L0SlowdownTrigger > c.L0StopTrigger {
+		return fmt.Errorf("core: slowdown trigger %d above stop trigger %d",
+			c.L0SlowdownTrigger, c.L0StopTrigger)
+	}
+	if c.LogicalSSTableBytes < 0 || c.GroupCompactionBytes < 0 {
+		return errors.New("core: negative size configuration")
+	}
+	if c.Fragmented && c.LogicalSSTableBytes > 0 {
+		return errors.New("core: fragmented levels and compaction files are mutually exclusive profiles")
+	}
+	if c.SettledCompaction && c.LogicalSSTableBytes == 0 {
+		return errors.New("core: settled compaction requires logical SSTables")
+	}
+	return nil
+}
+
+// outputTableBytes returns the cut size for output tables.
+func (c *Config) outputTableBytes() int64 {
+	if c.LogicalSSTableBytes > 0 {
+		return c.LogicalSSTableBytes
+	}
+	return c.MaxSSTableBytes
+}
+
+// compactionFileMode reports whether flushes/compactions write one physical
+// file with one barrier (BoLT) instead of one file+barrier per table.
+func (c *Config) compactionFileMode() bool { return c.LogicalSSTableBytes > 0 }

@@ -1,0 +1,602 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bolt-lsm/bolt/internal/batch"
+	"github.com/bolt-lsm/bolt/internal/cache"
+	"github.com/bolt-lsm/bolt/internal/compaction"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/memtable"
+	"github.com/bolt-lsm/bolt/internal/metrics"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+	"github.com/bolt-lsm/bolt/internal/wal"
+)
+
+// ErrNotFound is returned by Get for absent keys.
+var ErrNotFound = errors.New("core: not found")
+
+// ErrClosed is returned when operating on a closed DB.
+var ErrClosed = errors.New("core: database closed")
+
+// DB is one LSM-tree instance.
+type DB struct {
+	cfg Config
+	fs  vfs.FS // counting-wrapped
+	io  *IOCounters
+	met *metrics.Metrics
+
+	// mu guards all mutable state below except where noted.
+	mu   sync.Mutex
+	cond *sync.Cond // background state changes (flush/compaction done)
+
+	mem    *memtable.MemTable
+	imm    *memtable.MemTable
+	walW   *wal.Writer
+	walNum uint64
+	vs     *manifest.VersionSet
+
+	// visibleSeq is the highest sequence number visible to reads; it is
+	// atomic so the read path can snapshot it without mu.
+	visibleSeq atomic.Uint64
+
+	writers []*dbWriter
+
+	snapshots *list.List // of keys.Seq, ascending insertion order
+
+	// manifestMu serializes MANIFEST commits; acquired without mu held.
+	manifestMu sync.Mutex
+
+	flushActive   bool
+	compactActive bool
+	manualActive  bool
+	bgErr         error
+	closed        bool
+
+	seekCompactFile  *manifest.FileMeta
+	seekCompactLevel int
+
+	obsoleteLogs []uint64
+	zombies      []*manifest.FileMeta
+	physRefs     map[uint64]int
+
+	blockCache *cache.BlockCache
+	fdCache    *cache.FDCache
+	tableCache *cache.TableCache
+	picker     *compaction.Picker
+}
+
+// Open opens (creating if necessary) a database on fs.
+func Open(fs vfs.FS, cfg Config) (*DB, error) {
+	cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:       cfg,
+		io:        &IOCounters{},
+		met:       &metrics.Metrics{},
+		mem:       memtable.New(),
+		snapshots: list.New(),
+		physRefs:  make(map[uint64]int),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	db.fs = newCountingFS(fs, db.io)
+
+	db.blockCache = cache.NewBlockCache(cfg.BlockCacheBytes)
+	if cfg.FDCache {
+		db.fdCache = cache.NewFDCache(db.fs, cfg.TableCacheEntries)
+	}
+	db.tableCache = cache.NewTableCache(db.fs, cfg.TableCacheEntries, db.fdCache, db.blockCache, db.sstConfig())
+	db.picker = &compaction.Picker{Opts: compaction.Options{
+		L0Trigger:         cfg.L0CompactionTrigger,
+		L1MaxBytes:        cfg.L1MaxBytes,
+		Multiplier:        cfg.LevelMultiplier,
+		GroupBytes:        cfg.GroupCompactionBytes,
+		Settled:           cfg.SettledCompaction,
+		Fragmented:        cfg.Fragmented,
+		GuardBaseBits:     cfg.GuardBaseBits,
+		GuardShiftBits:    cfg.GuardShiftBits,
+		L0ByPhysicalFiles: cfg.compactionFileMode(),
+	}}
+
+	if err := db.recover(); err != nil {
+		db.tableCache.Close()
+		if db.fdCache != nil {
+			db.fdCache.Close()
+		}
+		return nil, err
+	}
+
+	db.mu.Lock()
+	db.maybeScheduleWork()
+	db.mu.Unlock()
+	return db, nil
+}
+
+func (db *DB) sstConfig() sstable.Config {
+	return sstable.Config{
+		BlockSize:       db.cfg.BlockSize,
+		EntryPadding:    db.cfg.EntryPadding,
+		BloomBitsPerKey: db.cfg.BloomBitsPerKey,
+	}
+}
+
+// recover loads or creates the on-disk state.
+func (db *DB) recover() error {
+	names, err := db.fs.List()
+	if err != nil {
+		return fmt.Errorf("core: list db dir: %w", err)
+	}
+	hasCurrent := false
+	hasData := false
+	for _, n := range names {
+		if n == manifest.CurrentFileName {
+			hasCurrent = true
+		}
+		if kind, _, ok := manifest.ParseFileName(n); ok &&
+			(kind == manifest.KindTable || kind == manifest.KindLog) {
+			hasData = true
+		}
+	}
+	if hasCurrent {
+		db.vs, err = manifest.Recover(db.fs)
+	} else if hasData {
+		// Table or log files without CURRENT: creating a fresh database
+		// here would garbage-collect them as orphans. Refuse and point at
+		// Repair instead.
+		return fmt.Errorf("core: database has table/log files but no CURRENT (%w); run Repair",
+			manifest.ErrCorrupt)
+	} else {
+		db.vs, err = manifest.Create(db.fs)
+	}
+	if err != nil {
+		return err
+	}
+
+	// Replay WALs at or above the recorded log number, in order.
+	var logNums []uint64
+	for _, n := range names {
+		if kind, num, ok := manifest.ParseFileName(n); ok && kind == manifest.KindLog && num >= db.vs.LogNum() {
+			logNums = append(logNums, num)
+		}
+	}
+	sort.Slice(logNums, func(i, j int) bool { return logNums[i] < logNums[j] })
+	maxSeq := db.vs.LastSeq()
+	replayed := memtable.New()
+	for _, num := range logNums {
+		db.vs.MarkFileNumUsed(num)
+		last, err := wal.Replay(db.fs, manifest.LogFileName(num), func(b *batch.Batch) error {
+			return b.Iterate(func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
+				replayed.Add(seq, kind, key, value)
+				return nil
+			})
+		})
+		if err != nil {
+			return fmt.Errorf("core: replay wal %d: %w", num, err)
+		}
+		if last > maxSeq {
+			maxSeq = last
+		}
+	}
+	db.visibleSeq.Store(maxSeq)
+	db.vs.SetLastSeq(maxSeq)
+
+	// Fresh WAL for new writes.
+	db.walNum = db.vs.NextFileNum()
+	db.walW, err = wal.NewWriter(db.fs, manifest.LogFileName(db.walNum))
+	if err != nil {
+		return err
+	}
+
+	// Persist replayed data (if any) and advance the log pointer so old
+	// WALs become obsolete; this also covers the fresh-DB case where it
+	// just records the first log number.
+	edit := &manifest.VersionEdit{}
+	edit.SetLogNum(db.walNum)
+	if !replayed.Empty() {
+		metas, err := db.writeTables(replayed.NewIter(), 0)
+		if err != nil {
+			return fmt.Errorf("core: flush recovered wal: %w", err)
+		}
+		for _, m := range metas {
+			edit.AddFile(0, m)
+		}
+	}
+	if err := db.vs.LogAndApply(edit); err != nil {
+		return err
+	}
+
+	// Rebuild physical-file reference counts from the live version.
+	v := db.vs.Current()
+	for level := range v.Levels {
+		for _, f := range v.Levels[level] {
+			db.physRefs[f.PhysNum]++
+		}
+	}
+
+	// Garbage-collect orphans: tables from uncommitted compactions, old
+	// WALs, temp files, stale manifests.
+	db.removeOrphans()
+	return nil
+}
+
+// removeOrphans deletes files not referenced by the recovered state.
+func (db *DB) removeOrphans() {
+	names, err := db.fs.List()
+	if err != nil {
+		return
+	}
+	for _, n := range names {
+		kind, num, ok := manifest.ParseFileName(n)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case manifest.KindTable:
+			if db.physRefs[num] == 0 {
+				_ = db.fs.Remove(n)
+			}
+		case manifest.KindLog:
+			if num < db.vs.LogNum() {
+				_ = db.fs.Remove(n)
+			}
+		case manifest.KindTemp:
+			_ = db.fs.Remove(n)
+		}
+	}
+}
+
+// Metrics returns the engine counters.
+func (db *DB) Metrics() *metrics.Metrics { return db.met }
+
+// CacheStats reports TableCache and BlockCache behaviour: hits, misses,
+// and the cumulative filter+index bytes fetched on TableCache misses (the
+// metadata-caching overhead of paper Section 2.6).
+type CacheStats struct {
+	TableHits, TableMisses int64
+	MetaBytesRead          int64
+	BlockHits, BlockMisses int64
+}
+
+// CacheStats returns current cache counters.
+func (db *DB) CacheStats() CacheStats {
+	th, tm := db.tableCache.Stats()
+	bh, bm := db.blockCache.Stats()
+	return CacheStats{
+		TableHits: th, TableMisses: tm,
+		MetaBytesRead: db.tableCache.MetaBytesRead(),
+		BlockHits:     bh, BlockMisses: bm,
+	}
+}
+
+// IO returns the file-level I/O counters (fsyncs, bytes written/read).
+func (db *DB) IO() *IOCounters { return db.io }
+
+// Put inserts or overwrites one key.
+func (db *DB) Put(key, value []byte) error {
+	b := batch.New()
+	b.Put(key, value)
+	return db.Write(b)
+}
+
+// Delete removes one key.
+func (db *DB) Delete(key []byte) error {
+	b := batch.New()
+	b.Delete(key)
+	return db.Write(b)
+}
+
+// VisibleSeq returns the current read-visibility sequence number.
+func (db *DB) VisibleSeq() keys.Seq { return keys.Seq(db.visibleSeq.Load()) }
+
+// Snapshot pins a consistent read view.
+type Snapshot struct {
+	db   *DB
+	seq  keys.Seq
+	elem *list.Element
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() keys.Seq { return s.seq }
+
+// NewSnapshot returns a snapshot of the current state; callers must
+// Release it.
+func (db *DB) NewSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{db: db, seq: db.VisibleSeq()}
+	s.elem = db.snapshots.PushBack(s.seq)
+	return s
+}
+
+// Release unpins the snapshot.
+func (s *Snapshot) Release() {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if s.elem != nil {
+		s.db.snapshots.Remove(s.elem)
+		s.elem = nil
+	}
+}
+
+// smallestSnapshotLocked returns the oldest sequence number any reader may
+// still need (mu held).
+func (db *DB) smallestSnapshotLocked() keys.Seq {
+	if front := db.snapshots.Front(); front != nil {
+		return front.Value.(keys.Seq)
+	}
+	return db.VisibleSeq()
+}
+
+// Get returns the value of key at the given snapshot (nil = latest).
+func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
+	db.met.Gets.Add(1)
+	seq := db.VisibleSeq()
+	if snap != nil {
+		seq = snap.seq
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm := db.mem, db.imm
+	v := db.vs.Current()
+	v.Ref()
+	db.mu.Unlock()
+	defer v.Unref()
+
+	if value, kind, found := mem.Get(key, seq); found {
+		if kind == keys.KindDelete {
+			return nil, ErrNotFound
+		}
+		db.met.GetHits.Add(1)
+		return append([]byte(nil), value...), nil
+	}
+	if imm != nil {
+		if value, kind, found := imm.Get(key, seq); found {
+			if kind == keys.KindDelete {
+				return nil, ErrNotFound
+			}
+			db.met.GetHits.Add(1)
+			return append([]byte(nil), value...), nil
+		}
+	}
+	value, found, err := db.searchTables(v, key, seq)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	db.met.GetHits.Add(1)
+	return value, nil
+}
+
+// searchTables looks key up in the table levels of v.
+func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byte, bool, error) {
+	ikey := keys.MakeInternalKey(nil, key, seq, keys.KindSeekMax)
+	var (
+		firstConsulted      *manifest.FileMeta
+		firstConsultedLevel int
+		consulted           int
+	)
+	consult := func(level int, f *manifest.FileMeta) ([]byte, keys.Seq, keys.Kind, bool, error) {
+		consulted++
+		if firstConsulted == nil {
+			firstConsulted, firstConsultedLevel = f, level
+		}
+		db.met.TablesChecked.Add(1)
+		r, release, err := db.tableCache.Get(f)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		defer release()
+		if !r.MayContain(key) {
+			db.met.BloomSkips.Add(1)
+			return nil, 0, 0, false, nil
+		}
+		value, entrySeq, kind, found, err := r.Get(ikey)
+		return value, entrySeq, kind, found, err
+	}
+	finish := func(value []byte, kind keys.Kind) ([]byte, bool, error) {
+		db.maybeChargeSeek(firstConsulted, firstConsultedLevel, consulted)
+		if kind == keys.KindDelete {
+			return nil, false, nil
+		}
+		return value, true, nil
+	}
+
+	// consultOverlapping searches every table in files whose range covers
+	// key and returns the newest visible version across them. Level 0 and
+	// fragmented levels hold overlapping tables whose sequence ranges may
+	// interleave (after repair, even L0's flush ordering cannot be
+	// assumed), so first-match is not safe — the winner is chosen by
+	// entry sequence number.
+	consultOverlapping := func(level int, files []*manifest.FileMeta) (value []byte, kind keys.Kind, found bool, err error) {
+		var bestSeq keys.Seq
+		for _, f := range files {
+			if !f.OverlapsUser(key, key) {
+				continue
+			}
+			v, entrySeq, k, ok, err := consult(level, f)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if ok && (!found || entrySeq > bestSeq) {
+				value, bestSeq, kind, found = v, entrySeq, k, true
+			}
+		}
+		return value, kind, found, nil
+	}
+
+	if value, kind, found, err := consultOverlapping(0, v.Levels[0]); err != nil {
+		return nil, false, err
+	} else if found {
+		return finish(value, kind)
+	}
+	for level := 1; level < manifest.NumLevels; level++ {
+		files := v.Levels[level]
+		if len(files) == 0 {
+			continue
+		}
+		if db.cfg.Fragmented {
+			value, kind, found, err := consultOverlapping(level, files)
+			if err != nil {
+				return nil, false, err
+			}
+			if found {
+				return finish(value, kind)
+			}
+			continue
+		}
+		// Sorted level: binary search the single candidate file.
+		idx := sort.Search(len(files), func(i int) bool {
+			return keys.CompareUser(files[i].Largest.UserKey(), key) >= 0
+		})
+		if idx >= len(files) || keys.CompareUser(files[idx].Smallest.UserKey(), key) > 0 {
+			continue
+		}
+		value, _, kind, found, err := consult(level, files[idx])
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return finish(value, kind)
+		}
+	}
+	db.maybeChargeSeek(firstConsulted, firstConsultedLevel, consulted)
+	return nil, false, nil
+}
+
+// maybeChargeSeek implements LevelDB's seek-compaction accounting: when a
+// read had to consult more than one table, the first consulted table is
+// charged; at zero allowed seeks it becomes a compaction candidate.
+func (db *DB) maybeChargeSeek(f *manifest.FileMeta, level int, consulted int) {
+	if !db.cfg.SeekCompaction || consulted < 2 || f == nil {
+		return
+	}
+	if f.AllowedSeeks.Add(-1) == 0 && level < manifest.NumLevels-1 {
+		db.mu.Lock()
+		if db.seekCompactFile == nil && !db.closed {
+			db.seekCompactFile = f
+			db.seekCompactLevel = level
+			db.maybeScheduleWork()
+		}
+		db.mu.Unlock()
+	}
+}
+
+// Close flushes nothing (matching LevelDB semantics: unflushed memtable
+// data survives via the WAL), stops background work, and releases
+// resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	for db.flushActive || db.compactActive {
+		db.cond.Wait()
+	}
+	// Fail any writers still queued. The queue itself is left intact: an
+	// in-flight leader that wakes from makeRoomForWrite still pops its
+	// members from the head, so clearing the slice here would race with
+	// that pop.
+	for _, w := range db.writers {
+		w.err = ErrClosed
+		w.done = true
+		w.cv.Signal()
+	}
+	db.mu.Unlock()
+
+	var firstErr error
+	if db.cfg.SyncWAL {
+		if err := db.walW.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.walW.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := db.vs.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	db.tableCache.Close()
+	if db.fdCache != nil {
+		db.fdCache.Close()
+	}
+	return firstErr
+}
+
+// WaitIdle blocks until all background work (pending flushes and
+// compactions) has drained. Benchmarks use it to separate load-phase
+// compaction debt from read-phase measurements.
+func (db *DB) WaitIdle() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for (db.flushActive || db.compactActive || db.imm != nil) &&
+		db.bgErr == nil && !db.closed {
+		db.cond.Wait()
+	}
+}
+
+// NumLevelFiles returns the table count per level (diagnostics).
+func (db *DB) NumLevelFiles() [manifest.NumLevels]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out [manifest.NumLevels]int
+	v := db.vs.Current()
+	for i := range v.Levels {
+		out[i] = len(v.Levels[i])
+	}
+	return out
+}
+
+// DebugVersion renders the current table layout.
+func (db *DB) DebugVersion() string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vs.Current().DebugString()
+}
+
+// CheckInvariants validates the version layout (tests call this).
+func (db *DB) CheckInvariants() error {
+	db.mu.Lock()
+	v := db.vs.Current()
+	v.Ref()
+	db.mu.Unlock()
+	defer v.Unref()
+	return db.checkVersionInvariants(v)
+}
+
+func (db *DB) checkVersionInvariants(v *manifest.Version) error {
+	for level := 1; level < manifest.NumLevels; level++ {
+		if !db.cfg.Fragmented {
+			if err := v.SortedTables(level); err != nil {
+				return err
+			}
+		}
+	}
+	for level := range v.Levels {
+		for _, f := range v.Levels[level] {
+			if keys.Compare(f.Smallest, f.Largest) > 0 {
+				return fmt.Errorf("core: table %d has inverted bounds", f.Num)
+			}
+			if f.Size <= 0 {
+				return fmt.Errorf("core: table %d has size %d", f.Num, f.Size)
+			}
+		}
+	}
+	return nil
+}

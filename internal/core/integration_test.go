@@ -1,0 +1,396 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// profilesUnderTest returns every engine profile at test scale.
+func profilesUnderTest() map[string]Config {
+	hyper := testConfig()
+	hyper.L0SlowdownTrigger = 0
+	hyper.L0StopTrigger = 0
+	hyper.ConcurrentWriters = true
+	hyper.MaxSSTableBytes = 16 << 10
+
+	rocks := testConfig()
+	rocks.MaxSSTableBytes = 32 << 10
+	rocks.SeparateFlushThread = true
+	rocks.EntryPadding = 0
+	rocks.SeekCompaction = false
+
+	pebbles := hyper
+	pebbles.Fragmented = true
+	pebbles.GuardBaseBits = 5
+	pebbles.GuardShiftBits = 1
+
+	hyperBolt := hyper
+	hyperBolt.LogicalSSTableBytes = 4 << 10
+	hyperBolt.GroupCompactionBytes = 16 << 10
+	hyperBolt.SettledCompaction = true
+	hyperBolt.FDCache = true
+	hyperBolt.Fragmented = false
+
+	lvl := testConfig()
+	lvl.SeekCompaction = true
+
+	return map[string]Config{
+		"leveldb":   lvl,
+		"bolt":      boltTestConfig(),
+		"hyper":     hyper,
+		"rocks":     rocks,
+		"pebbles":   pebbles,
+		"hyperbolt": hyperBolt,
+	}
+}
+
+// TestGoldenModelAllProfiles runs a randomized workload of puts, deletes,
+// overwrites, reads, and scans against every profile and cross-checks each
+// result against an in-memory map.
+func TestGoldenModelAllProfiles(t *testing.T) {
+	for name, cfg := range profilesUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1234))
+			db := openTestDB(t, vfs.NewMem(), cfg)
+			defer db.Close()
+			model := map[string]string{}
+			const ops = 12000
+			const keySpace = 2000
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("user%06d", rng.Intn(keySpace))
+				switch rng.Intn(10) {
+				case 0: // delete
+					if err := db.Delete([]byte(key)); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, key)
+				case 1, 2: // read
+					want, exists := model[key]
+					got, err := db.Get([]byte(key), nil)
+					if exists {
+						if err != nil || string(got) != want {
+							t.Fatalf("op %d Get(%s) = %q,%v want %q", i, key, got, err, want)
+						}
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Fatalf("op %d Get(%s) = %q,%v want NotFound", i, key, got, err)
+					}
+				default: // write
+					val := fmt.Sprintf("val-%d-%d", i, rng.Int63())
+					if err := db.Put([]byte(key), []byte(val)); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				}
+			}
+			// Full scan must equal the sorted model.
+			var wantKeys []string
+			for k := range model {
+				wantKeys = append(wantKeys, k)
+			}
+			sort.Strings(wantKeys)
+			it := db.NewIter(nil)
+			defer it.Close()
+			i := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				if i >= len(wantKeys) {
+					t.Fatalf("scan yielded extra key %q", it.Key())
+				}
+				if string(it.Key()) != wantKeys[i] {
+					t.Fatalf("scan position %d: got %q want %q", i, it.Key(), wantKeys[i])
+				}
+				if string(it.Value()) != model[wantKeys[i]] {
+					t.Fatalf("scan value for %q mismatch", it.Key())
+				}
+				i++
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if i != len(wantKeys) {
+				t.Fatalf("scan yielded %d keys, want %d", i, len(wantKeys))
+			}
+			if err := db.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestGoldenModelWithReopen interleaves random reopen cycles.
+func TestGoldenModelWithReopen(t *testing.T) {
+	for _, name := range []string{"leveldb", "bolt", "pebbles"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := profilesUnderTest()[name]
+			fs := vfs.NewMem()
+			rng := rand.New(rand.NewSource(99))
+			model := map[string]string{}
+			db := openTestDB(t, fs, cfg)
+			for round := 0; round < 4; round++ {
+				for i := 0; i < 2500; i++ {
+					key := fmt.Sprintf("user%06d", rng.Intn(1500))
+					if rng.Intn(12) == 0 {
+						db.Delete([]byte(key))
+						delete(model, key)
+					} else {
+						val := fmt.Sprintf("r%d-%d", round, i)
+						db.Put([]byte(key), []byte(val))
+						model[key] = val
+					}
+				}
+				if err := db.Close(); err != nil {
+					t.Fatal(err)
+				}
+				db = openTestDB(t, fs, cfg)
+				// Spot-check after reopen.
+				for k, want := range model {
+					got, err := db.Get([]byte(k), nil)
+					if err != nil || string(got) != want {
+						t.Fatalf("round %d after reopen: Get(%s) = %q,%v want %q",
+							round, k, got, err, want)
+					}
+					if rng.Intn(4) != 0 {
+						break // sample a few keys per round, not all
+					}
+				}
+			}
+			db.Close()
+		})
+	}
+}
+
+// TestCrashRecoveryNeverLosesSyncedWrites injects crashes at random points
+// and verifies the recovered database (a) retains every write that was
+// acknowledged with a synced WAL, and (b) opens cleanly with intact
+// invariants.
+func TestCrashRecoveryNeverLosesSyncedWrites(t *testing.T) {
+	for _, name := range []string{"leveldb", "bolt"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := profilesUnderTest()[name]
+			cfg.SyncWAL = true // acknowledged == durable
+			rng := rand.New(rand.NewSource(7))
+			fs := vfs.NewMem()
+			model := map[string]string{}
+			for round := 0; round < 5; round++ {
+				db := openTestDB(t, fs, cfg)
+				n := 500 + rng.Intn(1500)
+				for i := 0; i < n; i++ {
+					key := fmt.Sprintf("user%06d", rng.Intn(800))
+					val := fmt.Sprintf("r%d-%d", round, i)
+					if err := db.Put([]byte(key), []byte(val)); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				}
+				// Crash: clone only what is durable, abandon the old DB
+				// (its background threads die with the test; the files they
+				// might still write belong to the *old* fs image).
+				crashed := fs.CrashClone()
+				_ = db.Close()
+				fs = crashed
+
+				db2, err := Open(fs, cfg)
+				if err != nil {
+					t.Fatalf("round %d: reopen after crash: %v", round, err)
+				}
+				for k, want := range model {
+					got, err := db2.Get([]byte(k), nil)
+					if err != nil || string(got) != want {
+						t.Fatalf("round %d: lost synced write %s: got %q, %v want %q",
+							round, k, got, err, want)
+					}
+				}
+				if err := db2.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				if err := db2.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashDuringCompactionKeepsConsistency crashes while background work
+// is likely in flight: whatever survives must open cleanly and contain a
+// prefix-consistent state (all acknowledged synced writes).
+func TestCrashDuringCompactionKeepsConsistency(t *testing.T) {
+	cfg := boltTestConfig()
+	cfg.SyncWAL = true
+	fs := vfs.NewMem()
+	db := openTestDB(t, fs, cfg)
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6000; i++ {
+		key := fmt.Sprintf("user%06d", rng.Intn(2000))
+		val := fmt.Sprintf("v%d", i)
+		if err := db.Put([]byte(key), []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		model[key] = val
+		// Crash mid-run at a few random points (compactions are running).
+		if i == 2000 || i == 4500 {
+			crashed := fs.CrashClone()
+			db2, err := Open(crashed, cfg)
+			if err != nil {
+				t.Fatalf("crash at op %d: %v", i, err)
+			}
+			for k, want := range model {
+				got, err := db2.Get([]byte(k), nil)
+				if err != nil || string(got) != want {
+					t.Fatalf("crash at op %d: key %s = %q,%v want %q", i, k, got, err, want)
+				}
+			}
+			if err := db2.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			db2.Close()
+		}
+	}
+	db.Close()
+}
+
+// TestUnsyncedWALDataLostOnCrash verifies the asynchronous-WAL semantics:
+// without SyncWAL, recent writes may vanish in a crash but recovery must
+// still be clean and prefix-consistent per key.
+func TestUnsyncedWALDataLostOnCrash(t *testing.T) {
+	cfg := testConfig()
+	cfg.SyncWAL = false
+	fs := vfs.NewMem()
+	db := openTestDB(t, fs, cfg)
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	crashed := fs.CrashClone()
+	db.Close()
+	db2, err := Open(crashed, cfg)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db2.Close()
+	// Data may or may not be there (un-synced), but lookups must not error
+	// in unexpected ways.
+	for i := 0; i < 100; i++ {
+		_, err := db2.Get([]byte(fmt.Sprintf("k%03d", i)), nil)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("corrupt read after crash: %v", err)
+		}
+	}
+}
+
+// TestConcurrentReadersWritersScanners stresses the engine under -race.
+func TestConcurrentReadersWritersScanners(t *testing.T) {
+	for _, name := range []string{"leveldb", "bolt", "hyper", "pebbles"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := profilesUnderTest()[name]
+			db := openTestDB(t, vfs.NewMem(), cfg)
+			defer db.Close()
+			const (
+				writers = 4
+				readers = 3
+				perG    = 2000
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < perG; i++ {
+						key := fmt.Sprintf("user%06d", rng.Intn(3000))
+						if rng.Intn(10) == 0 {
+							if err := db.Delete([]byte(key)); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if err := db.Put([]byte(key), []byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + r)))
+					for i := 0; i < perG; i++ {
+						key := fmt.Sprintf("user%06d", rng.Intn(3000))
+						if _, err := db.Get([]byte(key), nil); err != nil && !errors.Is(err, ErrNotFound) {
+							t.Errorf("Get: %v", err)
+							return
+						}
+					}
+				}(r)
+			}
+			// One scanner walking the whole keyspace repeatedly.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for round := 0; round < 5; round++ {
+					it := db.NewIter(nil)
+					var prev []byte
+					for ok := it.First(); ok; ok = it.Next() {
+						if prev != nil && string(prev) >= string(it.Key()) {
+							t.Errorf("scan out of order: %q then %q", prev, it.Key())
+							it.Close()
+							return
+						}
+						prev = append(prev[:0], it.Key()...)
+					}
+					if err := it.Err(); err != nil {
+						t.Errorf("scan: %v", err)
+					}
+					it.Close()
+				}
+			}()
+			wg.Wait()
+			if err := db.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSnapshotConsistencyUnderWrites verifies a snapshot scan is immune to
+// concurrent writes.
+func TestSnapshotConsistencyUnderWrites(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), boltTestConfig())
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("original"))
+	}
+	snap := db.NewSnapshot()
+	defer snap.Release()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3000; i++ {
+			db.Put([]byte(fmt.Sprintf("k%05d", i%1000)), []byte("mutated"))
+		}
+	}()
+
+	it := db.NewIter(snap)
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if string(it.Value()) != "original" {
+			t.Fatalf("snapshot scan saw mutation at %q", it.Key())
+		}
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if count != 1000 {
+		t.Fatalf("snapshot scan saw %d keys, want 1000", count)
+	}
+	<-done
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+func TestCompactRangeFullSettlesTree(t *testing.T) {
+	for _, name := range []string{"leveldb", "bolt"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig()
+			if name == "bolt" {
+				cfg = boltTestConfig()
+			}
+			db := openTestDB(t, vfs.NewMem(), cfg)
+			defer db.Close()
+			fill(t, db, 3000, 100)
+			if err := db.CompactRange(nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			files := db.NumLevelFiles()
+			if files[0] != 0 {
+				t.Fatalf("L0 not empty after full compaction: %v\n%s", files, db.DebugVersion())
+			}
+			checkFilled(t, db, 3000, 100)
+			if err := db.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCompactRangePartial(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), testConfig())
+	defer db.Close()
+	fill(t, db, 3000, 100)
+	// Compact only the first half of the keyspace.
+	if err := db.CompactRange([]byte("key00000000"), []byte("key00001500")); err != nil {
+		t.Fatal(err)
+	}
+	checkFilled(t, db, 3000, 100)
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRangeEmptyDB(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), testConfig())
+	defer db.Close()
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactRangeFlushesMemtable(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), testConfig())
+	defer db.Close()
+	// Data small enough to stay in the memtable.
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("m%02d", i)), []byte("v"))
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range db.NumLevelFiles() {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("memtable content not flushed to tables")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("m%02d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCompactRangeDropsTombstones(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), testConfig())
+	defer db.Close()
+	fill(t, db, 1000, 100)
+	for i := 0; i < 1000; i++ {
+		db.Delete([]byte(fmt.Sprintf("key%08d", i)))
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Everything deleted and fully compacted: the tree should be empty.
+	total := int64(0)
+	db.mu.Lock()
+	v := db.vs.Current()
+	for level := range v.Levels {
+		total += v.LevelBytes(level)
+	}
+	db.mu.Unlock()
+	if total > 5<<10 {
+		t.Fatalf("tombstones/garbage survived full compaction: %d bytes\n%s", total, db.DebugVersion())
+	}
+	for i := 0; i < 1000; i += 111 {
+		if _, err := db.Get([]byte(fmt.Sprintf("key%08d", i)), nil); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("deleted key resurfaced: %v", err)
+		}
+	}
+}
+
+func TestCompactRangeConcurrentWithWrites(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), boltTestConfig())
+	defer db.Close()
+	fill(t, db, 1500, 100)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("bg%06d", i)), make([]byte, 100)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := db.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// RepairReport summarizes what Repair salvaged.
+type RepairReport struct {
+	// TablesRecovered is the number of (logical) tables salvaged.
+	TablesRecovered int
+	// TablesLost counts table regions that failed validation and were
+	// abandoned.
+	TablesLost int
+	// FilesScanned is the number of physical table files examined.
+	FilesScanned int
+	// Entries is the total entry count across salvaged tables.
+	Entries int
+	// MaxSeq is the highest sequence number observed.
+	MaxSeq keys.Seq
+}
+
+// Repair rebuilds a database's MANIFEST from its physical table files,
+// for use when CURRENT or the MANIFEST is lost or corrupt. It walks each
+// physical file backwards from its end — a table's footer pins the index
+// block as the last block before it, so the table's total size (and hence
+// the previous table's boundary) is recoverable without any metadata.
+// Every salvaged table is placed in level 0; point reads tolerate this
+// because level-0 lookups select versions by sequence number, and normal
+// compaction re-sorts the tree afterwards.
+//
+// Limitations: inside a BoLT compaction file, tables *before* a
+// hole-punched (reclaimed) region cannot be chained to and are lost —
+// their contents were already compacted into newer files, so this loses
+// only already-dead data unless the database was corrupted mid-write.
+// WAL files are left in place; the rebuilt MANIFEST records log number 0
+// so recovery replays every log present.
+func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
+	cfg.ApplyDefaults()
+	report := &RepairReport{}
+
+	names, err := fs.List()
+	if err != nil {
+		return nil, fmt.Errorf("core: repair list: %w", err)
+	}
+
+	type salvaged struct {
+		meta   *manifest.FileMeta
+		maxSeq keys.Seq
+	}
+	var tables []salvaged
+	var maxPhys uint64
+
+	for _, name := range names {
+		kind, num, ok := manifest.ParseFileName(name)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case manifest.KindManifest, manifest.KindCurrent, manifest.KindTemp:
+			// Stale or damaged metadata: remove; a fresh MANIFEST follows.
+			_ = fs.Remove(name)
+			continue
+		case manifest.KindTable:
+		default:
+			continue
+		}
+		if num > maxPhys {
+			maxPhys = num
+		}
+		report.FilesScanned++
+		salv, lost, err := salvageFile(fs, name, num)
+		if err != nil {
+			return nil, err
+		}
+		report.TablesLost += lost
+		for _, s := range salv {
+			tables = append(tables, salvaged{meta: s.meta, maxSeq: s.maxSeq})
+			report.Entries += int(s.entries)
+			if s.maxSeq > report.MaxSeq {
+				report.MaxSeq = s.maxSeq
+			}
+		}
+	}
+	report.TablesRecovered = len(tables)
+
+	// Order by newest data last so the (cosmetic) level-0 ordering matches
+	// flush recency; renumber logical tables above every physical number.
+	sort.Slice(tables, func(i, j int) bool { return tables[i].maxSeq < tables[j].maxSeq })
+	nextNum := maxPhys + 1
+	edit := &manifest.VersionEdit{}
+	for _, t := range tables {
+		t.meta.Num = nextNum
+		nextNum++
+		edit.AddFile(0, t.meta)
+	}
+
+	vs, err := manifest.Create(fs)
+	if err != nil {
+		return nil, fmt.Errorf("core: repair manifest: %w", err)
+	}
+	defer vs.Close()
+	vs.MarkFileNumUsed(nextNum)
+	vs.SetLastSeq(uint64(report.MaxSeq))
+	logNum := uint64(0)
+	edit.LogNum = &logNum
+	if err := vs.LogAndApply(edit); err != nil {
+		return nil, fmt.Errorf("core: repair commit: %w", err)
+	}
+	return report, nil
+}
+
+type salvagedTable struct {
+	meta    *manifest.FileMeta
+	maxSeq  keys.Seq
+	entries int64
+}
+
+// salvageFile walks physical table file name backwards, validating each
+// table region fully (every block checksum, every entry).
+func salvageFile(fs vfs.FS, name string, physNum uint64) ([]salvagedTable, int, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: repair open %s: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, 1, nil
+	}
+
+	var out []salvagedTable
+	lost := 0
+	end := size
+	for end >= sstable.FooterSize {
+		base, ok := tableBaseFromFooter(f, end)
+		if !ok || base < 0 {
+			// No valid table ends here: whatever precedes is unreachable.
+			if end > 0 {
+				lost++
+			}
+			break
+		}
+		s, err := validateTable(f, physNum, base, end-base)
+		if err != nil {
+			lost++
+			break
+		}
+		out = append(out, s)
+		end = base
+	}
+	return out, lost, nil
+}
+
+// tableBaseFromFooter reads the footer ending at end and derives the
+// table's base offset: the index block is always the final block before
+// the footer, so base = end - (indexOff + indexLen + trailer + footer).
+func tableBaseFromFooter(f vfs.File, end int64) (int64, bool) {
+	var footer [sstable.FooterSize]byte
+	if err := vfs.ReadFull(f, footer[:], end-sstable.FooterSize); err != nil {
+		return 0, false
+	}
+	if binary.LittleEndian.Uint64(footer[40:]) != sstable.Magic {
+		return 0, false
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	indexLen := int64(binary.LittleEndian.Uint64(footer[8:]))
+	tableSize := indexOff + indexLen + 4 + sstable.FooterSize
+	if tableSize <= 0 || tableSize > end {
+		return 0, false
+	}
+	return end - tableSize, true
+}
+
+// validateTable opens and fully iterates the table at (base, size),
+// returning its reconstructed metadata.
+func validateTable(f vfs.File, physNum uint64, base, size int64) (salvagedTable, error) {
+	r, err := sstable.OpenReader(f, 0, base, size, nil)
+	if err != nil {
+		return salvagedTable{}, err
+	}
+	it := r.NewIter(sstable.IterOpts{Readahead: compactionReadahead})
+	defer it.Close()
+	var (
+		smallest, largest keys.InternalKey
+		maxSeq            keys.Seq
+		entries           int64
+	)
+	for ok := it.First(); ok; ok = it.Next() {
+		ik := it.Key()
+		if smallest == nil {
+			smallest = append(keys.InternalKey(nil), ik...)
+		}
+		largest = append(largest[:0], ik...)
+		if s := ik.Seq(); s > maxSeq {
+			maxSeq = s
+		}
+		entries++
+	}
+	if err := it.Err(); err != nil {
+		return salvagedTable{}, err
+	}
+	if entries == 0 || entries != int64(r.NumEntries()) {
+		return salvagedTable{}, fmt.Errorf("core: repair: entry count mismatch (%d vs %d)",
+			entries, r.NumEntries())
+	}
+	meta := &manifest.FileMeta{
+		PhysNum:  physNum,
+		Offset:   base,
+		Size:     size,
+		Smallest: smallest,
+		Largest:  append(keys.InternalKey(nil), largest...),
+	}
+	meta.AllowedSeeks.Store(100)
+	return salvagedTable{meta: meta, maxSeq: maxSeq, entries: entries}, nil
+}

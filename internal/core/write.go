@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/batch"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/memtable"
+	"github.com/bolt-lsm/bolt/internal/wal"
+)
+
+// maxGroupCommitBytes bounds how much one leader batches into a single WAL
+// record (LevelDB uses 1 MB).
+const maxGroupCommitBytes = 1 << 20
+
+// dbWriter is one queued write. The head of db.writers is the leader: it
+// performs the group commit on behalf of every writer it absorbs.
+type dbWriter struct {
+	b   *batch.Batch
+	cv  sync.Cond // on db.mu
+	err error
+	// done means the write has been fully committed (or failed).
+	done bool
+	// doInsert (ConcurrentWriters profiles) wakes the writer to insert its
+	// own batch into mem concurrently; seq/mem/wg carry its assignment.
+	doInsert bool
+	seq      keys.Seq
+	mem      *memtable.MemTable
+	wg       *sync.WaitGroup
+}
+
+// Write atomically applies b. Callers may invoke Write concurrently; a
+// leader/follower group-commit protocol batches concurrent writers into
+// one WAL record, exactly like LevelDB's writer queue.
+func (db *DB) Write(b *batch.Batch) error {
+	w := &dbWriter{b: b}
+	w.cv.L = &db.mu
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.writers = append(db.writers, w)
+	for {
+		if w.doInsert {
+			db.insertFollower(w)
+			continue
+		}
+		if w.done || db.writers[0] == w {
+			break
+		}
+		w.cv.Wait()
+	}
+	if w.done {
+		err := w.err
+		db.mu.Unlock()
+		return err
+	}
+
+	// This writer is the leader.
+	err := db.makeRoomForWrite()
+	var group *batch.Batch
+	var members []*dbWriter
+	if err == nil {
+		group, members = db.buildGroup()
+		db.met.GroupCommits.Add(1)
+		startSeq := db.VisibleSeq() + 1
+		group.SetSeq(startSeq)
+		seq := startSeq
+		for _, m := range members {
+			m.seq = seq
+			seq += keys.Seq(m.b.Count())
+		}
+		mem := db.mem
+		walW := db.walW
+		db.mu.Unlock()
+
+		// One WAL append (and at most one sync) for the whole group.
+		err = walW.AddRecord(group.Repr())
+		if err == nil && db.cfg.SyncWAL {
+			err = walW.Sync()
+		}
+		db.met.WALRecords.Add(1)
+
+		if err == nil {
+			if db.cfg.ConcurrentWriters && len(members) > 1 {
+				err = db.insertConcurrently(mem, members)
+			} else {
+				err = group.Iterate(func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
+					mem.Add(seq, kind, key, value)
+					return nil
+				})
+			}
+		}
+		db.mu.Lock()
+		if err == nil {
+			db.visibleSeq.Store(uint64(startSeq) + uint64(group.Count()) - 1)
+			db.vs.SetLastSeq(db.visibleSeq.Load())
+			db.met.Writes.Add(int64(group.Count()))
+			db.met.BytesIn.Add(int64(group.Size()))
+		}
+	} else {
+		members = []*dbWriter{w}
+	}
+
+	// Complete the group and wake the next leader.
+	for _, m := range members {
+		db.writers = db.writers[1:]
+		m.err = err
+		m.done = true
+		if m != w {
+			m.cv.Signal()
+		}
+	}
+	if len(db.writers) > 0 {
+		db.writers[0].cv.Signal()
+	}
+	db.mu.Unlock()
+	return err
+}
+
+// buildGroup absorbs queued writers (up to the byte cap) into one batch.
+// Called with mu held; returns the combined batch and its members in queue
+// order (leader first).
+func (db *DB) buildGroup() (*batch.Batch, []*dbWriter) {
+	leader := db.writers[0]
+	members := []*dbWriter{leader}
+	group := leader.b
+	total := leader.b.Size()
+	grouped := false
+	for _, next := range db.writers[1:] {
+		if total+next.b.Size() > maxGroupCommitBytes {
+			break
+		}
+		if !grouped {
+			combined := batch.New()
+			combined.Append(leader.b)
+			group = combined
+			grouped = true
+		}
+		group.Append(next.b)
+		total += next.b.Size()
+		members = append(members, next)
+	}
+	return group, members
+}
+
+// insertConcurrently wakes every group member to insert its own batch into
+// mem in parallel — the HyperLevelDB write path. Called without mu.
+func (db *DB) insertConcurrently(mem *memtable.MemTable, members []*dbWriter) error {
+	var wg sync.WaitGroup
+	// Members already marked done (a concurrent Close failed the queue)
+	// have returned to their callers and will never perform their insert;
+	// the leader applies their batches itself. Their WAL record is already
+	// written, so applying keeps the log and memtable consistent.
+	var orphaned []*dbWriter
+	db.mu.Lock()
+	for _, m := range members[1:] {
+		if m.done {
+			orphaned = append(orphaned, m)
+			continue
+		}
+		wg.Add(1)
+		m.doInsert = true
+		m.mem = mem
+		m.wg = &wg
+		m.cv.Signal()
+	}
+	db.mu.Unlock()
+
+	insert := func(m *dbWriter) error {
+		return m.b.IterateWithSeq(m.seq, func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
+			mem.Add(seq, kind, key, value)
+			return nil
+		})
+	}
+	err := insert(members[0])
+	for _, m := range orphaned {
+		if ierr := insert(m); ierr != nil && err == nil {
+			err = ierr
+		}
+	}
+	wg.Wait()
+	return err
+}
+
+// insertFollower runs in a follower woken with doInsert (mu held on entry
+// and exit): it inserts its own batch outside the lock.
+func (db *DB) insertFollower(w *dbWriter) {
+	mem, seq, wg := w.mem, w.seq, w.wg
+	w.doInsert = false
+	b := w.b
+	db.mu.Unlock()
+	_ = b.IterateWithSeq(seq, func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
+		mem.Add(seq, kind, key, value)
+		return nil
+	})
+	wg.Done()
+	db.mu.Lock()
+}
+
+// makeRoomForWrite applies the write governors and switches memtables.
+// Called with mu held by the leader; may release and re-acquire mu.
+func (db *DB) makeRoomForWrite() error {
+	slowdownDone := false
+	for {
+		switch {
+		case db.bgErr != nil:
+			return db.bgErr
+		case db.closed:
+			return ErrClosed
+
+		case !slowdownDone && db.cfg.L0SlowdownTrigger > 0 &&
+			db.l0UnitsLocked() >= db.cfg.L0SlowdownTrigger:
+			// L0SlowDown governor: sleep 1 ms once, then proceed.
+			slowdownDone = true
+			db.met.StallSlowdown.Add(1)
+			db.mu.Unlock()
+			start := time.Now()
+			time.Sleep(time.Millisecond)
+			db.met.AddStall(time.Since(start))
+			db.mu.Lock()
+
+		case db.mem.ApproximateSize() < db.cfg.MemTableBytes:
+			return nil
+
+		case db.imm != nil:
+			// Previous memtable still flushing.
+			db.met.StallStops.Add(1)
+			start := time.Now()
+			db.cond.Wait()
+			db.met.AddStall(time.Since(start))
+
+		case db.cfg.L0StopTrigger > 0 && db.l0UnitsLocked() >= db.cfg.L0StopTrigger:
+			// L0Stop governor: block until compaction drains level 0.
+			db.met.StallStops.Add(1)
+			start := time.Now()
+			db.cond.Wait()
+			db.met.AddStall(time.Since(start))
+
+		default:
+			// Switch to a fresh memtable and WAL.
+			newLogNum := db.vs.NextFileNum()
+			newWal, err := wal.NewWriter(db.fs, manifest.LogFileName(newLogNum))
+			if err != nil {
+				return err
+			}
+			_ = db.walW.Close()
+			db.obsoleteLogs = append(db.obsoleteLogs, db.walNum)
+			db.walNum = newLogNum
+			db.walW = newWal
+			db.imm = db.mem
+			db.mem = memtable.New()
+			db.met.MemtableSwitch.Add(1)
+			db.maybeScheduleWork()
+		}
+	}
+}
+
+// l0UnitsLocked counts level-0 governor units: distinct physical files.
+// With BoLT compaction files one flush produces one physical file holding
+// many logical SSTables; counting physical files keeps the governor
+// semantics comparable with legacy layouts.
+func (db *DB) l0UnitsLocked() int {
+	files := db.vs.Current().Levels[0]
+	if !db.cfg.compactionFileMode() {
+		return len(files)
+	}
+	seen := make(map[uint64]struct{}, len(files))
+	for _, f := range files {
+		seen[f.PhysNum] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,145 @@
+// Package histogram provides a concurrent, log-bucketed latency histogram
+// used for the paper's tail-latency figures (4b, 14, 16). Buckets grow
+// geometrically from 100 ns to ~100 s, giving ~2.5% relative error, which
+// is ample for percentile plots.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	numBuckets = 400
+	minValueNs = 100 // 100 ns floor
+	// growth chosen so bucket 399 is ~ 1e11 ns (100 s).
+	growth = 1.054
+)
+
+var bucketBounds = func() [numBuckets]float64 {
+	var b [numBuckets]float64
+	v := float64(minValueNs)
+	for i := range b {
+		b[i] = v
+		v *= growth
+	}
+	return b
+}()
+
+// Histogram accumulates duration samples. The zero value is ready to use
+// and safe for concurrent recording.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	total  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	if ns < minValueNs {
+		ns = minValueNs
+	}
+	idx := int(math.Log(ns/minValueNs) / math.Log(growth))
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	for {
+		cur := h.maxNs.Load()
+		if d.Nanoseconds() <= cur || h.maxNs.CompareAndSwap(cur, d.Nanoseconds()) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile returns the q-th quantile (0 < q <= 1) as a duration.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketBounds[i])
+		}
+	}
+	return h.Max()
+}
+
+// CDFPoint is one point of an exported CDF curve.
+type CDFPoint struct {
+	// Percentile in [0,100].
+	Percentile float64
+	// Latency at that percentile.
+	Latency time.Duration
+}
+
+// CDF exports the latency CDF at the given percentiles (e.g. 50, 90, 99,
+// 99.9). Nil selects a standard dense set used by the figures.
+func (h *Histogram) CDF(percentiles []float64) []CDFPoint {
+	if percentiles == nil {
+		percentiles = []float64{10, 25, 50, 75, 90, 95, 97, 98, 99, 99.5, 99.85, 99.9, 99.99}
+	}
+	sort.Float64s(percentiles)
+	out := make([]CDFPoint, 0, len(percentiles))
+	for _, p := range percentiles {
+		out = append(out, CDFPoint{Percentile: p, Latency: h.Quantile(p / 100)})
+	}
+	return out
+}
+
+// Snapshot returns a point-in-time copy usable for deltas.
+func (h *Histogram) Snapshot() *Histogram {
+	s := &Histogram{}
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i].Store(c)
+		total += c
+	}
+	s.total.Store(total)
+	s.sumNs.Store(h.sumNs.Load())
+	s.maxNs.Store(h.maxNs.Load())
+	return s
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p95=%v p99=%v p99.9=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95),
+		h.Quantile(0.99), h.Quantile(0.999), h.Max())
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package histogram
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); m < 40*time.Millisecond || m > 60*time.Millisecond {
+		t.Fatalf("Mean = %v", m)
+	}
+	if max := h.Max(); max != 100*time.Millisecond {
+		t.Fatalf("Max = %v", max)
+	}
+	// p50 within bucket error of 50ms.
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Record(time.Duration(s%10_000_000) * time.Nanosecond)
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0} {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	exact := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 1e6) // ~exponential around 1ms
+		if v < 100 {
+			v = 100
+		}
+		exact = append(exact, v)
+		h.Record(time.Duration(v))
+	}
+	// Compare p95 against exact.
+	cp := append([]int64(nil), exact...)
+	sortInt64(cp)
+	want := cp[int(0.95*float64(len(cp)))-1]
+	got := h.Quantile(0.95).Nanoseconds()
+	ratio := float64(got) / float64(want)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("p95: got %d want %d (ratio %.3f)", got, want, ratio)
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestCDFOrdered(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	cdf := h.CDF(nil)
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Percentile < cdf[i-1].Percentile || cdf[i].Latency < cdf[i-1].Latency {
+			t.Fatalf("CDF not monotone at %d: %+v", i, cdf)
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestSnapshotIndependent(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	h.Record(time.Second)
+	if s.Count() != 1 {
+		t.Fatalf("snapshot count = %d", s.Count())
+	}
+	if s.Max() >= time.Second {
+		t.Fatal("snapshot mutated")
+	}
+}
+
+func TestTinyAndHugeSamples(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(time.Nanosecond)
+	h.Record(24 * time.Hour)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Quantile(1.0) < time.Minute {
+		t.Fatal("huge sample lost")
+	}
+}

@@ -1,0 +1,160 @@
+package iterator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+)
+
+func ik(u string, seq uint64) keys.InternalKey {
+	return keys.MakeInternalKey(nil, []byte(u), keys.Seq(seq), keys.KindSet)
+}
+
+func entries(kvs ...string) []KV {
+	var out []KV
+	for i := 0; i+1 < len(kvs); i += 2 {
+		out = append(out, KV{K: ik(kvs[i], 1), V: []byte(kvs[i+1])})
+	}
+	return out
+}
+
+func collect(t *testing.T, it Iterator) []string {
+	t.Helper()
+	var out []string
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, string(it.Key().UserKey())+"="+string(it.Value()))
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSliceIterator(t *testing.T) {
+	it := NewSlice(entries("a", "1", "c", "3", "e", "5"))
+	got := collect(t, it)
+	want := []string{"a=1", "c=3", "e=5"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v", got)
+	}
+	if !it.Seek(ik("b", 1)) || string(it.Key().UserKey()) != "c" {
+		t.Fatal("seek b should land on c")
+	}
+	if it.Seek(ik("z", 1)) {
+		t.Fatal("seek past end should invalidate")
+	}
+}
+
+func TestMergingInterleaves(t *testing.T) {
+	a := NewSlice(entries("a", "1", "d", "4", "g", "7"))
+	b := NewSlice(entries("b", "2", "e", "5"))
+	c := NewSlice(entries("c", "3", "f", "6"))
+	m := NewMerging(a, b, c)
+	got := collect(t, m)
+	want := []string{"a=1", "b=2", "c=3", "d=4", "e=5", "f=6", "g=7"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v", got)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergingEmptySources(t *testing.T) {
+	m := NewMerging(NewSlice(nil), NewSlice(entries("a", "1")), NewSlice(nil))
+	got := collect(t, m)
+	if len(got) != 1 || got[0] != "a=1" {
+		t.Fatalf("got %v", got)
+	}
+	empty := NewMerging()
+	if empty.First() {
+		t.Fatal("merge of zero sources should be invalid")
+	}
+}
+
+func TestMergingSeek(t *testing.T) {
+	a := NewSlice(entries("a", "1", "d", "4"))
+	b := NewSlice(entries("b", "2", "e", "5"))
+	m := NewMerging(a, b)
+	if !m.Seek(ik("c", 1)) || string(m.Key().UserKey()) != "d" {
+		t.Fatalf("seek c landed on %q", m.Key())
+	}
+	var rest []string
+	rest = append(rest, string(m.Key().UserKey()))
+	for m.Next() {
+		rest = append(rest, string(m.Key().UserKey()))
+	}
+	if fmt.Sprint(rest) != fmt.Sprint([]string{"d", "e"}) {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestMergingNewestVersionFirst(t *testing.T) {
+	// Same user key in two sources at different sequence numbers: the
+	// merged stream must yield the newer (higher seq) one first.
+	a := NewSlice([]KV{{K: ik("k", 5), V: []byte("old")}})
+	b := NewSlice([]KV{{K: ik("k", 9), V: []byte("new")}})
+	m := NewMerging(a, b)
+	if !m.First() {
+		t.Fatal("invalid")
+	}
+	if string(m.Value()) != "new" {
+		t.Fatalf("first version = %q, want new", m.Value())
+	}
+	if !m.Next() || string(m.Value()) != "old" {
+		t.Fatalf("second version = %q, want old", m.Value())
+	}
+}
+
+func TestMergingPropagatesError(t *testing.T) {
+	wantErr := errors.New("boom")
+	m := NewMerging(NewSlice(entries("a", "1")), &Empty{ErrValue: wantErr})
+	if m.First() {
+		t.Fatal("error source should invalidate merge")
+	}
+	if !errors.Is(m.Err(), wantErr) {
+		t.Fatalf("Err = %v", m.Err())
+	}
+}
+
+// Property: merging K random sorted slices equals sorting the union.
+func TestMergingEqualsSortProperty(t *testing.T) {
+	f := func(seed int64, nSources uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(nSources)%5 + 1
+		var all []KV
+		var sources []Iterator
+		seq := uint64(1)
+		for i := 0; i < k; i++ {
+			n := rng.Intn(50)
+			var es []KV
+			for j := 0; j < n; j++ {
+				key := fmt.Sprintf("k%03d", rng.Intn(200))
+				es = append(es, KV{K: ik(key, seq), V: []byte{byte(i)}})
+				seq++
+			}
+			sort.Slice(es, func(a, b int) bool { return keys.Compare(es[a].K, es[b].K) < 0 })
+			all = append(all, es...)
+			sources = append(sources, NewSlice(es))
+		}
+		sort.Slice(all, func(a, b int) bool { return keys.Compare(all[a].K, all[b].K) < 0 })
+
+		m := NewMerging(sources...)
+		i := 0
+		for ok := m.First(); ok; ok = m.Next() {
+			if i >= len(all) || keys.Compare(m.Key(), all[i].K) != 0 {
+				return false
+			}
+			i++
+		}
+		return m.Err() == nil && i == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

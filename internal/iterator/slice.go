@@ -1,0 +1,76 @@
+package iterator
+
+import (
+	"sort"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+)
+
+// KV is one entry of a Slice iterator.
+type KV struct {
+	K keys.InternalKey
+	V []byte
+}
+
+// Slice is an iterator over an in-memory sorted slice of entries. It is
+// used by tests and by small internal merges.
+type Slice struct {
+	entries []KV
+	pos     int
+}
+
+var _ Iterator = (*Slice)(nil)
+
+// NewSlice returns an iterator over entries, which must already be sorted
+// by internal key.
+func NewSlice(entries []KV) *Slice {
+	return &Slice{entries: entries, pos: -1}
+}
+
+// First implements Iterator.
+func (s *Slice) First() bool {
+	s.pos = 0
+	return s.Valid()
+}
+
+// Seek implements Iterator.
+func (s *Slice) Seek(target keys.InternalKey) bool {
+	s.pos = sort.Search(len(s.entries), func(i int) bool {
+		return keys.Compare(s.entries[i].K, target) >= 0
+	})
+	return s.Valid()
+}
+
+// Next implements Iterator.
+func (s *Slice) Next() bool {
+	if s.pos < 0 {
+		return false
+	}
+	s.pos++
+	return s.Valid()
+}
+
+// Valid implements Iterator.
+func (s *Slice) Valid() bool { return s.pos >= 0 && s.pos < len(s.entries) }
+
+// Key implements Iterator.
+func (s *Slice) Key() keys.InternalKey {
+	if !s.Valid() {
+		return nil
+	}
+	return s.entries[s.pos].K
+}
+
+// Value implements Iterator.
+func (s *Slice) Value() []byte {
+	if !s.Valid() {
+		return nil
+	}
+	return s.entries[s.pos].V
+}
+
+// Err implements Iterator.
+func (s *Slice) Err() error { return nil }
+
+// Close implements Iterator.
+func (s *Slice) Close() error { return nil }

@@ -1,0 +1,183 @@
+// Package keys implements the internal key encoding used throughout the
+// engine. An internal key is a user key followed by an 8-byte little-endian
+// trailer packing a 56-bit sequence number and an 8-bit value kind, exactly
+// as in LevelDB. Internal keys order by user key ascending, then sequence
+// number descending, then kind descending, so the newest entry for a user
+// key sorts first.
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind describes the type of an entry stored under an internal key.
+type Kind uint8
+
+// Entry kinds. KindDelete must sort before KindSet for equal sequence
+// numbers; LevelDB assigns delete=0, set=1.
+const (
+	KindDelete Kind = 0
+	KindSet    Kind = 1
+
+	// KindSeekMax is the kind used when constructing a key for seeking:
+	// because kinds sort descending within a sequence number, the maximal
+	// kind positions the seek key before all entries with the same user key
+	// and sequence number.
+	KindSeekMax Kind = 0xff
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDelete:
+		return "DEL"
+	case KindSet:
+		return "SET"
+	case KindSeekMax:
+		return "SEEK"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Seq is a 56-bit sequence number. Sequence numbers increase monotonically
+// with every applied write; snapshot reads pin a sequence number.
+type Seq uint64
+
+// MaxSeq is the largest representable sequence number.
+const MaxSeq Seq = (1 << 56) - 1
+
+// TrailerLen is the length of the internal key trailer in bytes.
+const TrailerLen = 8
+
+// PackTrailer combines a sequence number and kind into the 64-bit trailer.
+func PackTrailer(seq Seq, kind Kind) uint64 {
+	return uint64(seq)<<8 | uint64(kind)
+}
+
+// UnpackTrailer splits a trailer into its sequence number and kind.
+func UnpackTrailer(t uint64) (Seq, Kind) {
+	return Seq(t >> 8), Kind(t & 0xff)
+}
+
+// InternalKey is an encoded internal key: user key bytes followed by the
+// 8-byte trailer.
+type InternalKey []byte
+
+// MakeInternalKey appends the encoding of (ukey, seq, kind) to dst and
+// returns the extended slice.
+func MakeInternalKey(dst []byte, ukey []byte, seq Seq, kind Kind) InternalKey {
+	dst = append(dst, ukey...)
+	var tr [TrailerLen]byte
+	binary.LittleEndian.PutUint64(tr[:], PackTrailer(seq, kind))
+	return append(dst, tr[:]...)
+}
+
+// Valid reports whether ik is long enough to contain a trailer.
+func (ik InternalKey) Valid() bool { return len(ik) >= TrailerLen }
+
+// UserKey returns the user key portion of ik. It panics if ik is invalid;
+// callers must validate keys read from untrusted storage first.
+func (ik InternalKey) UserKey() []byte { return ik[:len(ik)-TrailerLen] }
+
+// Trailer returns the decoded trailer of ik.
+func (ik InternalKey) Trailer() uint64 {
+	return binary.LittleEndian.Uint64(ik[len(ik)-TrailerLen:])
+}
+
+// Seq returns the sequence number encoded in ik.
+func (ik InternalKey) Seq() Seq {
+	s, _ := UnpackTrailer(ik.Trailer())
+	return s
+}
+
+// Kind returns the kind encoded in ik.
+func (ik InternalKey) Kind() Kind {
+	_, k := UnpackTrailer(ik.Trailer())
+	return k
+}
+
+// String formats ik for debugging.
+func (ik InternalKey) String() string {
+	if !ik.Valid() {
+		return fmt.Sprintf("invalid:%q", []byte(ik))
+	}
+	return fmt.Sprintf("%q#%d,%s", ik.UserKey(), ik.Seq(), ik.Kind())
+}
+
+// Compare orders two internal keys: user key ascending, then trailer
+// descending (newer first).
+func Compare(a, b InternalKey) int {
+	if c := bytes.Compare(a.UserKey(), b.UserKey()); c != 0 {
+		return c
+	}
+	at, bt := a.Trailer(), b.Trailer()
+	switch {
+	case at > bt:
+		return -1
+	case at < bt:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareUser orders two user keys bytewise; it exists so that all key
+// comparisons in the engine flow through this package.
+func CompareUser(a, b []byte) int { return bytes.Compare(a, b) }
+
+// Separator returns a short internal key k such that a <= k < b in internal
+// key order, used as an index-block separator. The user-key portion is
+// shortened where possible; the trailer is the maximal trailer so the
+// separator sorts at-or-after every entry with user key equal to a's.
+func Separator(dst []byte, a, b InternalKey) InternalKey {
+	au, bu := a.UserKey(), b.UserKey()
+	sep := shortestSeparator(au, bu)
+	if len(sep) < len(au) && CompareUser(au, sep) < 0 {
+		// A strictly shorter user key was found; pair it with the maximal
+		// trailer so it still sorts >= a.
+		return MakeInternalKey(dst, sep, MaxSeq, KindSeekMax)
+	}
+	return append(dst, a...)
+}
+
+// Successor returns a short internal key k >= a, used as the final
+// index-block entry of a table.
+func Successor(dst []byte, a InternalKey) InternalKey {
+	au := a.UserKey()
+	for i := 0; i < len(au); i++ {
+		if au[i] != 0xff {
+			succ := make([]byte, i+1)
+			copy(succ, au[:i+1])
+			succ[i]++
+			return MakeInternalKey(dst, succ, MaxSeq, KindSeekMax)
+		}
+	}
+	return append(dst, a...)
+}
+
+// shortestSeparator finds a short byte string s with a <= s < b, following
+// LevelDB's BytewiseComparator::FindShortestSeparator.
+func shortestSeparator(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	if i >= n {
+		// One is a prefix of the other; no shortening possible.
+		return a
+	}
+	if a[i] < 0xff && a[i]+1 < b[i] {
+		sep := make([]byte, i+1)
+		copy(sep, a[:i+1])
+		sep[i]++
+		return sep
+	}
+	return a
+}

@@ -1,0 +1,137 @@
+package keys
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackTrailer(t *testing.T) {
+	cases := []struct {
+		seq  Seq
+		kind Kind
+	}{
+		{0, KindDelete},
+		{1, KindSet},
+		{MaxSeq, KindSeekMax},
+		{123456789, KindSet},
+	}
+	for _, c := range cases {
+		s, k := UnpackTrailer(PackTrailer(c.seq, c.kind))
+		if s != c.seq || k != c.kind {
+			t.Errorf("roundtrip (%d,%d) -> (%d,%d)", c.seq, c.kind, s, k)
+		}
+	}
+}
+
+func TestMakeInternalKeyRoundTrip(t *testing.T) {
+	ik := MakeInternalKey(nil, []byte("hello"), 42, KindSet)
+	if got := string(ik.UserKey()); got != "hello" {
+		t.Fatalf("UserKey = %q, want hello", got)
+	}
+	if ik.Seq() != 42 {
+		t.Fatalf("Seq = %d, want 42", ik.Seq())
+	}
+	if ik.Kind() != KindSet {
+		t.Fatalf("Kind = %v, want SET", ik.Kind())
+	}
+}
+
+func TestInternalKeyOrdering(t *testing.T) {
+	// Same user key: higher seq sorts first.
+	a := MakeInternalKey(nil, []byte("k"), 10, KindSet)
+	b := MakeInternalKey(nil, []byte("k"), 5, KindSet)
+	if Compare(a, b) >= 0 {
+		t.Errorf("newer seq should sort before older: %v vs %v", a, b)
+	}
+	// Same user key and seq: set sorts before delete (kind descending).
+	c := MakeInternalKey(nil, []byte("k"), 5, KindSet)
+	d := MakeInternalKey(nil, []byte("k"), 5, KindDelete)
+	if Compare(c, d) >= 0 {
+		t.Errorf("KindSet should sort before KindDelete at equal seq")
+	}
+	// Different user keys: bytewise.
+	e := MakeInternalKey(nil, []byte("a"), 1, KindSet)
+	f := MakeInternalKey(nil, []byte("b"), 100, KindSet)
+	if Compare(e, f) >= 0 {
+		t.Errorf("user key order should dominate")
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var iks []InternalKey
+	for i := 0; i < 200; i++ {
+		k := make([]byte, rng.Intn(6))
+		rng.Read(k)
+		iks = append(iks, MakeInternalKey(nil, k, Seq(rng.Intn(100)), Kind(rng.Intn(2))))
+	}
+	sort.Slice(iks, func(i, j int) bool { return Compare(iks[i], iks[j]) < 0 })
+	for i := 1; i < len(iks); i++ {
+		if Compare(iks[i-1], iks[i]) > 0 {
+			t.Fatalf("sort produced out-of-order pair at %d", i)
+		}
+		// Antisymmetry.
+		if Compare(iks[i], iks[i-1]) < 0 && Compare(iks[i-1], iks[i]) < 0 {
+			t.Fatalf("antisymmetry violated at %d", i)
+		}
+	}
+}
+
+func TestSeparatorProperty(t *testing.T) {
+	f := func(au, bu []byte, seqA, seqB uint32) bool {
+		if CompareUser(au, bu) >= 0 {
+			au, bu = bu, au
+		}
+		if CompareUser(au, bu) == 0 {
+			return true // skip equal keys
+		}
+		a := MakeInternalKey(nil, au, Seq(seqA), KindSet)
+		b := MakeInternalKey(nil, bu, Seq(seqB), KindSet)
+		sep := Separator(nil, a, b)
+		// a <= sep < b must hold.
+		return Compare(a, sep) <= 0 && Compare(sep, b) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeparatorShortens(t *testing.T) {
+	a := MakeInternalKey(nil, []byte("abcdefghij"), 5, KindSet)
+	b := MakeInternalKey(nil, []byte("abzzzz"), 7, KindSet)
+	sep := Separator(nil, a, b)
+	if len(sep.UserKey()) >= len(a.UserKey()) {
+		t.Errorf("separator %v not shortened (a=%v b=%v)", sep, a, b)
+	}
+}
+
+func TestSuccessorProperty(t *testing.T) {
+	f := func(au []byte, seq uint32) bool {
+		a := MakeInternalKey(nil, au, Seq(seq), KindSet)
+		succ := Successor(nil, a)
+		return Compare(a, succ) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorAllFF(t *testing.T) {
+	a := MakeInternalKey(nil, []byte{0xff, 0xff}, 1, KindSet)
+	succ := Successor(nil, a)
+	if !bytes.Equal(succ, a) {
+		t.Errorf("successor of all-0xff key should be the key itself")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSet.String() != "SET" || KindDelete.String() != "DEL" {
+		t.Error("unexpected kind strings")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,43 @@
+package logrec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the log reader: it must never panic
+// and must terminate (every Next call consumes input or returns EOF).
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, BlockSize))
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord([]byte("seed-record"))
+	w.WriteRecord(bytes.Repeat([]byte("x"), BlockSize+100))
+	f.Add(buf.Bytes())
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[3] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, strict := range []bool{false, true} {
+			r := NewReader(data)
+			r.Strict = strict
+			for i := 0; i < len(data)+10; i++ {
+				rec, err := r.Next()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					if !strict {
+						t.Fatalf("non-strict reader returned error: %v", err)
+					}
+					break
+				}
+				_ = rec
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package manifest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileKind classifies database files by name.
+type FileKind int
+
+// File kinds. Physical table files use the same extension whether they hold
+// one legacy SSTable or many logical SSTables (a BoLT compaction file).
+const (
+	KindUnknown FileKind = iota
+	KindTable
+	KindLog
+	KindManifest
+	KindCurrent
+	KindTemp
+)
+
+// CurrentFileName is the pointer file naming the live MANIFEST.
+const CurrentFileName = "CURRENT"
+
+// TableFileName returns the name of physical table file num.
+func TableFileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+// LogFileName returns the name of WAL file num.
+func LogFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
+
+// ManifestFileName returns the name of MANIFEST file num.
+func ManifestFileName(num uint64) string { return fmt.Sprintf("MANIFEST-%06d", num) }
+
+// TempFileName returns a scratch file name.
+func TempFileName(num uint64) string { return fmt.Sprintf("%06d.tmp", num) }
+
+// ParseFileName classifies a database file name and extracts its number.
+func ParseFileName(name string) (FileKind, uint64, bool) {
+	if name == CurrentFileName {
+		return KindCurrent, 0, true
+	}
+	if rest, ok := strings.CutPrefix(name, "MANIFEST-"); ok {
+		num, err := strconv.ParseUint(rest, 10, 64)
+		if err != nil {
+			return KindUnknown, 0, false
+		}
+		return KindManifest, num, true
+	}
+	dot := strings.LastIndexByte(name, '.')
+	if dot <= 0 {
+		return KindUnknown, 0, false
+	}
+	num, err := strconv.ParseUint(name[:dot], 10, 64)
+	if err != nil {
+		return KindUnknown, 0, false
+	}
+	switch name[dot+1:] {
+	case "sst":
+		return KindTable, num, true
+	case "log":
+		return KindLog, num, true
+	case "tmp":
+		return KindTemp, num, true
+	default:
+		return KindUnknown, 0, false
+	}
+}

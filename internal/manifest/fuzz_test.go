@@ -1,0 +1,23 @@
+package manifest
+
+import "testing"
+
+// FuzzDecodeEdit feeds arbitrary bytes to the version-edit decoder: it
+// must never panic and decoded edits must re-encode without panicking.
+func FuzzDecodeEdit(f *testing.F) {
+	e := &VersionEdit{}
+	e.SetLogNum(3)
+	e.AddFile(2, meta(9, 8, 128, 4096, "aa", "zz"))
+	e.DeleteFile(1, 5)
+	f.Add(e.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{9, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeEdit(data)
+		if err != nil {
+			return
+		}
+		_ = d.Encode()
+	})
+}

@@ -1,0 +1,261 @@
+// Package manifest implements the versioned metadata of the LSM-tree: file
+// metadata (including BoLT's logical-SSTable addressing), version edits,
+// the MANIFEST log, and the version set with its recovery path.
+//
+// The MANIFEST is the commit mark of every flush and compaction: new table
+// bytes are fsynced first, then a single version edit — naming the added
+// and deleted (logical) SSTables — is appended to the MANIFEST and fsynced.
+// A crash between the two barriers leaves orphan table bytes that are
+// garbage-collected at open; a crash before the first barrier loses only
+// uncommitted work. BoLT's contribution is that the *first* barrier covers
+// one compaction file holding many logical SSTables instead of one barrier
+// per SSTable.
+package manifest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+)
+
+// NumLevels is the number of on-disk levels.
+const NumLevels = 7
+
+// FileMeta describes one (logical) SSTable. In legacy engines PhysNum ==
+// Num and Offset == 0: the table owns its whole physical file. In BoLT
+// several FileMetas share a PhysNum, each at its own Offset — these are the
+// logical SSTables.
+type FileMeta struct {
+	// Num is the table's unique number (also the block-cache key).
+	Num uint64
+	// PhysNum is the physical file the table lives in.
+	PhysNum uint64
+	// Offset is the table's base offset within the physical file.
+	Offset int64
+	// Size is the table's length in bytes.
+	Size int64
+	// Smallest and Largest bound the table's internal keys.
+	Smallest, Largest keys.InternalKey
+	// Guard is the PebblesDB guard key owning this table (fragmented-level
+	// profiles only; nil otherwise).
+	Guard []byte
+
+	// AllowedSeeks drives LevelDB's seek compaction: it starts proportional
+	// to the file size and each read that had to consult this table without
+	// finding its key decrements it; at zero the table becomes a compaction
+	// candidate.
+	AllowedSeeks atomic.Int64
+}
+
+// OverlapsUser reports whether the table's key range intersects
+// [smallest, largest] in user-key space. A nil bound means unbounded.
+func (f *FileMeta) OverlapsUser(smallest, largest []byte) bool {
+	if smallest != nil && keys.CompareUser(f.Largest.UserKey(), smallest) < 0 {
+		return false
+	}
+	if largest != nil && keys.CompareUser(f.Smallest.UserKey(), largest) > 0 {
+		return false
+	}
+	return true
+}
+
+// Version is an immutable snapshot of the table layout across levels.
+// Iterators and reads pin a version with Ref/Unref so obsolete tables are
+// not deleted from under them.
+type Version struct {
+	// Levels[0] is ordered newest-first (by Num descending) and may
+	// overlap; deeper levels are ordered by Smallest. In fragmented
+	// profiles deeper levels may also overlap (within a guard).
+	Levels [NumLevels][]*FileMeta
+
+	refs atomic.Int32
+	vs   *VersionSet
+}
+
+// Ref pins the version.
+func (v *Version) Ref() { v.refs.Add(1) }
+
+// Unref releases a pin; at zero the version no longer holds tables live.
+func (v *Version) Unref() {
+	if v.refs.Add(-1) == 0 && v.vs != nil {
+		v.vs.removeVersion(v)
+	}
+}
+
+// NumFiles returns the total table count.
+func (v *Version) NumFiles() int {
+	n := 0
+	for _, lvl := range v.Levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// LevelBytes returns the total size of tables at the given level.
+func (v *Version) LevelBytes(level int) int64 {
+	var total int64
+	for _, f := range v.Levels[level] {
+		total += f.Size
+	}
+	return total
+}
+
+// Overlaps returns the tables at level whose user-key ranges intersect
+// [smallest, largest] (nil = unbounded), in level order.
+func (v *Version) Overlaps(level int, smallest, largest []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.Levels[level] {
+		if f.OverlapsUser(smallest, largest) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SortedTables reports whether the invariantly-sorted-level assumption
+// holds for the given level: non-overlapping and ordered. Used by tests
+// and the engine's internal consistency checks (not valid for L0 or for
+// fragmented profiles).
+func (v *Version) SortedTables(level int) error {
+	files := v.Levels[level]
+	for i := 1; i < len(files); i++ {
+		prev, cur := files[i-1], files[i]
+		if keys.CompareUser(prev.Largest.UserKey(), cur.Smallest.UserKey()) >= 0 {
+			return fmt.Errorf("manifest: level %d tables %d and %d overlap: %s vs %s",
+				level, prev.Num, cur.Num, prev.Largest, cur.Smallest)
+		}
+	}
+	return nil
+}
+
+// versionBuilder accumulates edits on top of a base version. Deletions are
+// level-aware: BoLT's settled compaction promotes a table by deleting it at
+// level L and re-adding the *same* table number at level L+1 within one
+// edit, so deletion must not cancel the addition at the other level.
+type versionBuilder struct {
+	base    *Version
+	added   [NumLevels][]*FileMeta
+	deleted map[levelNum]bool
+}
+
+type levelNum struct {
+	level int
+	num   uint64
+}
+
+func newVersionBuilder(base *Version) *versionBuilder {
+	return &versionBuilder{base: base, deleted: make(map[levelNum]bool)}
+}
+
+func (b *versionBuilder) apply(edit *VersionEdit) {
+	for _, d := range edit.Deleted {
+		b.deleted[levelNum{d.Level, d.Num}] = true
+	}
+	for _, a := range edit.Added {
+		// Re-adding at a level where an earlier edit deleted it revives it
+		// (does not occur in practice, but keeps apply order-consistent).
+		delete(b.deleted, levelNum{a.Level, a.Meta.Num})
+		b.added[a.Level] = append(b.added[a.Level], a.Meta)
+	}
+}
+
+// finish produces the new version. Levels deeper than 0 are sorted by
+// smallest key (ties by Num, which keeps fragmented-profile ordering
+// stable); level 0 is sorted newest-first.
+func (b *versionBuilder) finish(vs *VersionSet) *Version {
+	v := &Version{vs: vs}
+	for level := 0; level < NumLevels; level++ {
+		var files []*FileMeta
+		if b.base != nil {
+			for _, f := range b.base.Levels[level] {
+				if !b.deleted[levelNum{level, f.Num}] {
+					files = append(files, f)
+				}
+			}
+		}
+		for _, f := range b.added[level] {
+			if !b.deleted[levelNum{level, f.Num}] {
+				files = append(files, f)
+			}
+		}
+		if level == 0 {
+			sort.Slice(files, func(i, j int) bool { return files[i].Num > files[j].Num })
+		} else {
+			sort.Slice(files, func(i, j int) bool {
+				c := keys.Compare(files[i].Smallest, files[j].Smallest)
+				if c != 0 {
+					return c < 0
+				}
+				return files[i].Num < files[j].Num
+			})
+		}
+		v.Levels[level] = files
+	}
+	return v
+}
+
+// versionList tracks all live (referenced) versions so obsolete-file
+// collection can compute the full live-table set.
+type versionList struct {
+	mu       sync.Mutex
+	versions map[*Version]struct{}
+}
+
+func (l *versionList) add(v *Version) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.versions == nil {
+		l.versions = make(map[*Version]struct{})
+	}
+	l.versions[v] = struct{}{}
+}
+
+func (l *versionList) remove(v *Version) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.versions, v)
+}
+
+func (l *versionList) liveTables() map[uint64]*FileMeta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	live := make(map[uint64]*FileMeta)
+	for v := range l.versions {
+		for _, lvl := range v.Levels {
+			for _, f := range lvl {
+				live[f.Num] = f
+			}
+		}
+	}
+	return live
+}
+
+// TotalBytes returns the cumulative size of all tables in the version.
+func (v *Version) TotalBytes() int64 {
+	var total int64
+	for level := range v.Levels {
+		total += v.LevelBytes(level)
+	}
+	return total
+}
+
+// DebugString renders the version layout for tools and tests.
+func (v *Version) DebugString() string {
+	var buf bytes.Buffer
+	for level, files := range v.Levels {
+		if len(files) == 0 {
+			continue
+		}
+		fmt.Fprintf(&buf, "L%d:", level)
+		for _, f := range files {
+			fmt.Fprintf(&buf, " %d(phys=%d@%d,%dB)[%q..%q]",
+				f.Num, f.PhysNum, f.Offset, f.Size, f.Smallest.UserKey(), f.Largest.UserKey())
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

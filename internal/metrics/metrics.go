@@ -1,0 +1,106 @@
+// Package metrics defines the engine's counters. Everything the paper
+// plots — fsync counts, total bytes written, write-stall time, compaction
+// activity, cache behaviour — is accumulated here, lock-free, and read
+// through Snapshot.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/histogram"
+)
+
+// Metrics is the live counter set of one DB instance.
+type Metrics struct {
+	// Write path.
+	Writes          atomic.Int64 // committed operations
+	BytesIn         atomic.Int64 // user payload bytes accepted
+	StallSlowdown   atomic.Int64 // L0SlowDown events (1 ms sleeps)
+	StallStops      atomic.Int64 // L0Stop / memtable-full blocking events
+	StallTimeNs     atomic.Int64 // total time writers spent stalled
+	WALRecords      atomic.Int64
+	GroupCommits    atomic.Int64 // leader commits (batches may be grouped)
+	MemtableSwitch  atomic.Int64
+	MemtableFlushes atomic.Int64
+
+	// Compaction.
+	Compactions        atomic.Int64
+	SettledPromotions  atomic.Int64 // tables promoted without rewrite
+	CompactionBytesIn  atomic.Int64 // bytes read by compactions
+	CompactionBytesOut atomic.Int64 // bytes written by compactions
+	TablesCreated      atomic.Int64
+	TablesDeleted      atomic.Int64
+	HolePunches        atomic.Int64
+	SeekCompactions    atomic.Int64
+
+	// Read path.
+	Gets          atomic.Int64
+	GetHits       atomic.Int64
+	TablesChecked atomic.Int64 // tables consulted across all gets
+	BloomSkips    atomic.Int64 // tables skipped by bloom filters
+
+	// Latency histograms.
+	WriteLatency histogram.Histogram
+	ReadLatency  histogram.Histogram
+	ScanLatency  histogram.Histogram
+}
+
+// AddStall records a writer stall of the given duration.
+func (m *Metrics) AddStall(d time.Duration) { m.StallTimeNs.Add(int64(d)) }
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Writes          int64
+	BytesIn         int64
+	StallSlowdown   int64
+	StallStops      int64
+	StallTime       time.Duration
+	WALRecords      int64
+	GroupCommits    int64
+	MemtableSwitch  int64
+	MemtableFlushes int64
+
+	Compactions        int64
+	SettledPromotions  int64
+	CompactionBytesIn  int64
+	CompactionBytesOut int64
+	TablesCreated      int64
+	TablesDeleted      int64
+	HolePunches        int64
+	SeekCompactions    int64
+
+	Gets          int64
+	GetHits       int64
+	TablesChecked int64
+	BloomSkips    int64
+}
+
+// Snapshot copies the scalar counters (histograms are read directly).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Writes:          m.Writes.Load(),
+		BytesIn:         m.BytesIn.Load(),
+		StallSlowdown:   m.StallSlowdown.Load(),
+		StallStops:      m.StallStops.Load(),
+		StallTime:       time.Duration(m.StallTimeNs.Load()),
+		WALRecords:      m.WALRecords.Load(),
+		GroupCommits:    m.GroupCommits.Load(),
+		MemtableSwitch:  m.MemtableSwitch.Load(),
+		MemtableFlushes: m.MemtableFlushes.Load(),
+
+		Compactions:        m.Compactions.Load(),
+		SettledPromotions:  m.SettledPromotions.Load(),
+		CompactionBytesIn:  m.CompactionBytesIn.Load(),
+		CompactionBytesOut: m.CompactionBytesOut.Load(),
+		TablesCreated:      m.TablesCreated.Load(),
+		TablesDeleted:      m.TablesDeleted.Load(),
+		HolePunches:        m.HolePunches.Load(),
+		SeekCompactions:    m.SeekCompactions.Load(),
+
+		Gets:          m.Gets.Load(),
+		GetHits:       m.GetHits.Load(),
+		TablesChecked: m.TablesChecked.Load(),
+		BloomSkips:    m.BloomSkips.Load(),
+	}
+}

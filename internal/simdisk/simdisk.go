@@ -1,0 +1,202 @@
+// Package simdisk models the timing behaviour of a block device (an SSD)
+// underneath a simulated filesystem. The model captures exactly the
+// phenomena the BoLT paper is about:
+//
+//   - Buffered writes are absorbed by the page cache and cost (almost)
+//     nothing at write() time.
+//   - fsync()/fdatasync() is a *data barrier*: it blocks until the device
+//     queue drains (no reads in flight), pays a fixed barrier latency (the
+//     FLUSH command), and transfers the file's dirty bytes at the device's
+//     sequential write bandwidth while holding the device exclusively.
+//   - Random reads pay a per-operation latency plus transfer time, and may
+//     proceed concurrently up to the device queue depth.
+//   - Metadata operations (create, unlink, open, hole punch) pay a small
+//     latency and no barrier.
+//
+// All sleeps are scaled by Profile.TimeScale so experiments can be shrunk.
+// The device also keeps counters used by the benchmark harness (number of
+// barriers, bytes written/read, time spent stalled in barriers).
+package simdisk
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile holds the timing parameters of a simulated device. The defaults
+// (see DefaultProfile) approximate the SATA SSD used in the paper (Samsung
+// 860 EVO class).
+type Profile struct {
+	// WriteBandwidth is the sequential write bandwidth in bytes/second used
+	// to cost flushing dirty bytes at fsync time.
+	WriteBandwidth float64
+	// ReadBandwidth is the read transfer bandwidth in bytes/second.
+	ReadBandwidth float64
+	// ReadLatency is the fixed per-read-operation latency (seek/command).
+	ReadLatency time.Duration
+	// BarrierLatency is the fixed cost of a FLUSH barrier, paid by every
+	// fsync/fdatasync in addition to dirty-byte transfer time.
+	BarrierLatency time.Duration
+	// MetadataOpLatency is the cost of a metadata operation (create, unlink,
+	// rename, open, hole punch).
+	MetadataOpLatency time.Duration
+	// QueueDepth bounds the number of concurrent read operations in flight.
+	QueueDepth int
+	// TimeScale multiplies every sleep; 1.0 is real time, 0 disables sleeps
+	// entirely (pure accounting mode used by unit tests).
+	TimeScale float64
+}
+
+// DefaultProfile returns timing parameters approximating a SATA SSD.
+func DefaultProfile() Profile {
+	return Profile{
+		WriteBandwidth:    500 << 20, // 500 MB/s sequential
+		ReadBandwidth:     550 << 20,
+		ReadLatency:       80 * time.Microsecond,
+		BarrierLatency:    3 * time.Millisecond,
+		MetadataOpLatency: 30 * time.Microsecond,
+		QueueDepth:        32,
+		TimeScale:         1.0,
+	}
+}
+
+// AccountingProfile returns a profile that counts operations but never
+// sleeps; unit tests use it so they run at full speed.
+func AccountingProfile() Profile {
+	p := DefaultProfile()
+	p.TimeScale = 0
+	return p
+}
+
+// Stats is a snapshot of device counters.
+type Stats struct {
+	// Barriers is the number of fsync/fdatasync barriers issued.
+	Barriers int64
+	// BytesFlushed is the number of dirty bytes transferred by barriers.
+	BytesFlushed int64
+	// BytesRead is the number of bytes read from the device (cache misses).
+	BytesRead int64
+	// Reads is the number of read operations that reached the device.
+	Reads int64
+	// MetadataOps is the number of metadata operations.
+	MetadataOps int64
+	// BarrierStall is the cumulative simulated time spent inside barriers.
+	BarrierStall time.Duration
+	// ReadStall is the cumulative simulated time spent inside device reads.
+	ReadStall time.Duration
+}
+
+// Device is a simulated block device shared by all files of a simulated
+// filesystem. The zero value is not usable; construct with NewDevice.
+type Device struct {
+	profile Profile
+
+	// barrierMu serializes barriers with each other and with reads: a
+	// barrier takes the write side (queue must drain), reads take the read
+	// side bounded additionally by the queue-depth semaphore.
+	barrierMu sync.RWMutex
+	queueSem  chan struct{}
+
+	barriers     atomic.Int64
+	bytesFlushed atomic.Int64
+	bytesRead    atomic.Int64
+	reads        atomic.Int64
+	metadataOps  atomic.Int64
+	barrierStall atomic.Int64 // nanoseconds
+	readStall    atomic.Int64 // nanoseconds
+}
+
+// NewDevice constructs a device with the given profile.
+func NewDevice(p Profile) *Device {
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 1
+	}
+	return &Device{
+		profile:  p,
+		queueSem: make(chan struct{}, p.QueueDepth),
+	}
+}
+
+// Profile returns the device's timing parameters.
+func (d *Device) Profile() Profile { return d.profile }
+
+// minSleep is the smallest duration worth actually sleeping for: operating
+// systems overshoot short sleeps by roughly their timer quantum (measured
+// ~1.5 ms on small cloud hosts), so sleeping for a 50 ”s cost would inflate
+// it 30x. Costs below the threshold are accounted but not slept; costs
+// above it are slept and suffer at most a quantum of absolute error.
+const minSleep = 250 * time.Microsecond
+
+// sleep pauses for dur scaled by the profile's time scale.
+func (d *Device) sleep(dur time.Duration) time.Duration {
+	if dur <= 0 {
+		return 0
+	}
+	if d.profile.TimeScale > 0 {
+		scaled := time.Duration(float64(dur) * d.profile.TimeScale)
+		if scaled >= minSleep {
+			time.Sleep(scaled)
+		}
+	}
+	return dur
+}
+
+// Barrier simulates an fsync/fdatasync that must make dirty bytes durable.
+// It waits for in-flight reads to drain (exclusive lock), then pays the
+// barrier latency plus the transfer time of the dirty bytes.
+func (d *Device) Barrier(dirtyBytes int64) {
+	start := time.Now()
+	d.barrierMu.Lock()
+	transfer := time.Duration(float64(dirtyBytes) / d.profile.WriteBandwidth * float64(time.Second))
+	simulated := d.sleep(d.profile.BarrierLatency + transfer)
+	d.barrierMu.Unlock()
+
+	d.barriers.Add(1)
+	d.bytesFlushed.Add(dirtyBytes)
+	if d.profile.TimeScale > 0 {
+		d.barrierStall.Add(int64(time.Since(start)))
+	} else {
+		d.barrierStall.Add(int64(simulated))
+	}
+}
+
+// Read simulates reading n bytes that missed the page cache. Reads run
+// concurrently up to the queue depth but are excluded during barriers.
+func (d *Device) Read(n int64) {
+	start := time.Now()
+	d.barrierMu.RLock()
+	d.queueSem <- struct{}{}
+	transfer := time.Duration(float64(n) / d.profile.ReadBandwidth * float64(time.Second))
+	simulated := d.sleep(d.profile.ReadLatency + transfer)
+	<-d.queueSem
+	d.barrierMu.RUnlock()
+
+	d.reads.Add(1)
+	d.bytesRead.Add(n)
+	if d.profile.TimeScale > 0 {
+		d.readStall.Add(int64(time.Since(start)))
+	} else {
+		d.readStall.Add(int64(simulated))
+	}
+}
+
+// MetadataOp simulates a metadata operation (create/unlink/rename/open/
+// punch-hole). No barrier is involved.
+func (d *Device) MetadataOp() {
+	d.metadataOps.Add(1)
+	d.sleep(d.profile.MetadataOpLatency)
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Barriers:     d.barriers.Load(),
+		BytesFlushed: d.bytesFlushed.Load(),
+		BytesRead:    d.bytesRead.Load(),
+		Reads:        d.reads.Load(),
+		MetadataOps:  d.metadataOps.Load(),
+		BarrierStall: time.Duration(d.barrierStall.Load()),
+		ReadStall:    time.Duration(d.readStall.Load()),
+	}
+}

@@ -1,0 +1,104 @@
+package simdisk
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAccountingCounters(t *testing.T) {
+	d := NewDevice(AccountingProfile())
+	d.Barrier(1000)
+	d.Barrier(2000)
+	d.Read(512)
+	d.MetadataOp()
+
+	s := d.Stats()
+	if s.Barriers != 2 {
+		t.Errorf("Barriers = %d, want 2", s.Barriers)
+	}
+	if s.BytesFlushed != 3000 {
+		t.Errorf("BytesFlushed = %d, want 3000", s.BytesFlushed)
+	}
+	if s.Reads != 1 || s.BytesRead != 512 {
+		t.Errorf("Reads = %d BytesRead = %d, want 1/512", s.Reads, s.BytesRead)
+	}
+	if s.MetadataOps != 1 {
+		t.Errorf("MetadataOps = %d, want 1", s.MetadataOps)
+	}
+	if s.BarrierStall <= 0 {
+		t.Errorf("BarrierStall should accumulate simulated time even without sleeping")
+	}
+}
+
+func TestBarrierStallScalesWithDirtyBytes(t *testing.T) {
+	d := NewDevice(AccountingProfile())
+	d.Barrier(0)
+	small := d.Stats().BarrierStall
+	d2 := NewDevice(AccountingProfile())
+	d2.Barrier(500 << 20) // one second of transfer at 500 MB/s
+	big := d2.Stats().BarrierStall
+	if big <= small {
+		t.Errorf("barrier with dirty bytes should cost more: %v vs %v", big, small)
+	}
+	// 500 MB at 500 MB/s is one second of simulated transfer.
+	if big < time.Second {
+		t.Errorf("expected >= 1s simulated stall, got %v", big)
+	}
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	d := NewDevice(AccountingProfile())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				d.Read(128)
+				d.Barrier(64)
+				d.MetadataOp()
+			}
+		}()
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.Barriers != 800 || s.Reads != 800 || s.MetadataOps != 800 {
+		t.Errorf("lost operations: %+v", s)
+	}
+}
+
+func TestTimeScaleZeroDoesNotSleep(t *testing.T) {
+	d := NewDevice(AccountingProfile())
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		d.Barrier(1 << 20)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("accounting mode slept: %v", elapsed)
+	}
+}
+
+func TestRealSleepRoughlyProportional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	p := DefaultProfile()
+	p.BarrierLatency = 2 * time.Millisecond
+	p.TimeScale = 1.0
+	d := NewDevice(p)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		d.Barrier(0)
+	}
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Errorf("5 barriers at 2ms should take >= 8ms, took %v", elapsed)
+	}
+}
+
+func TestQueueDepthDefaults(t *testing.T) {
+	p := AccountingProfile()
+	p.QueueDepth = 0
+	d := NewDevice(p)
+	d.Read(1) // must not deadlock with a zero-size semaphore
+}

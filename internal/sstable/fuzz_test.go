@@ -1,0 +1,46 @@
+package sstable
+
+import (
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// FuzzOpenReader feeds arbitrary bytes as a table image: opening,
+// iterating, and point lookups must never panic (corrupt tables must
+// surface as errors).
+func FuzzOpenReader(f *testing.F) {
+	fs := vfs.NewMem()
+	file, _ := fs.Create("seed")
+	w := NewWriter(file, 0, Config{BlockSize: 256})
+	for i := 0; i < 50; i++ {
+		w.Add(ik("key"+string(rune('a'+i%26)), uint64(i+1), keys.KindSet), []byte("v"))
+	}
+	info, _ := w.Finish()
+	seed := make([]byte, info.Size)
+	file.ReadAt(seed, 0)
+	file.Close()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, FooterSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mfs := vfs.NewMem()
+		mf, _ := mfs.Create("t")
+		mf.Write(data)
+		r, err := OpenReader(mf, 1, 0, int64(len(data)), nil)
+		if err != nil {
+			return
+		}
+		it := r.NewIter(IterOpts{})
+		n := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			if n++; n > 1<<18 {
+				t.Fatal("runaway iteration")
+			}
+		}
+		it.Close()
+		r.Get(keys.MakeInternalKey(nil, []byte("key"), keys.MaxSeq, keys.KindSeekMax))
+	})
+}

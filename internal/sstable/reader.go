@@ -1,0 +1,393 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/bolt-lsm/bolt/internal/block"
+	"github.com/bolt-lsm/bolt/internal/bloom"
+	"github.com/bolt-lsm/bolt/internal/iterator"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// BlockCache caches decoded data blocks across readers. Implemented by
+// internal/cache; declared here so sstable does not depend on the cache
+// package.
+type BlockCache interface {
+	// Get returns the cached block for (tableID, offset), if present.
+	Get(tableID uint64, off int64) ([]byte, bool)
+	// Insert adds a block to the cache.
+	Insert(tableID uint64, off int64, data []byte)
+}
+
+// Reader reads one (possibly logical) table. Opening a reader costs one
+// metadata read covering the filter block, index block, and footer — this
+// is exactly the TableCache miss penalty the paper analyses: it grows
+// linearly with table size.
+type Reader struct {
+	f       vfs.File
+	tableID uint64
+	base    int64
+	size    int64
+
+	index      *block.Reader
+	filter     bloom.Filter
+	metaSize   int64
+	numEntries int
+
+	cache BlockCache // may be nil
+}
+
+// OpenReader parses the table at (base, size) in f. tableID must be unique
+// per table (the engine uses the table's file number); it keys the block
+// cache.
+func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) (*Reader, error) {
+	if size < FooterSize {
+		return nil, fmt.Errorf("%w: table too small (%d bytes)", ErrCorrupt, size)
+	}
+	var footer [FooterSize]byte
+	if err := vfs.ReadFull(f, footer[:], base+size-FooterSize); err != nil {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(footer[40:]); got != Magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+	}
+	indexH := blockHandle{
+		offset: int64(binary.LittleEndian.Uint64(footer[0:])),
+		length: int64(binary.LittleEndian.Uint64(footer[8:])),
+	}
+	filterH := blockHandle{
+		offset: int64(binary.LittleEndian.Uint64(footer[16:])),
+		length: int64(binary.LittleEndian.Uint64(footer[24:])),
+	}
+	numEntries := int(binary.LittleEndian.Uint64(footer[32:]))
+
+	// Read filter + index in a single contiguous metadata read, mirroring
+	// the single large I/O a real TableCache miss incurs.
+	metaStart := indexH.offset
+	if filterH.length > 0 && filterH.offset < metaStart {
+		metaStart = filterH.offset
+	}
+	metaEnd := base + size - FooterSize
+	metaLen := metaEnd - (base + metaStart)
+	if metaLen < 0 || base+metaStart < base {
+		return nil, fmt.Errorf("%w: meta region out of range", ErrCorrupt)
+	}
+	meta := make([]byte, metaLen)
+	if err := vfs.ReadFull(f, meta, base+metaStart); err != nil {
+		return nil, fmt.Errorf("sstable: read meta: %w", err)
+	}
+	checkBlock := func(h blockHandle) ([]byte, error) {
+		lo := h.offset - metaStart
+		hi := lo + h.length
+		// Validate in a wrap-safe order: footer fields are attacker-
+		// controlled uint64s that may be negative after conversion or
+		// overflow when summed.
+		if h.offset < 0 || h.length < 0 || lo < 0 || hi < lo ||
+			hi+blockTrailerSize > int64(len(meta)) || hi+blockTrailerSize < hi {
+			return nil, fmt.Errorf("%w: meta handle out of range", ErrCorrupt)
+		}
+		data := meta[lo:hi]
+		want := binary.LittleEndian.Uint32(meta[hi : hi+blockTrailerSize])
+		if got := crc32.Checksum(data, castagnoli); got != want {
+			return nil, fmt.Errorf("%w: meta block checksum", ErrCorrupt)
+		}
+		return data, nil
+	}
+
+	indexData, err := checkBlock(indexH)
+	if err != nil {
+		return nil, err
+	}
+	index, err := block.NewReader(indexData)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: parse index: %w", err)
+	}
+	var filter bloom.Filter
+	if filterH.length > 0 {
+		fdata, err := checkBlock(filterH)
+		if err != nil {
+			return nil, err
+		}
+		filter = bloom.Filter(fdata)
+	}
+	return &Reader{
+		f:          f,
+		tableID:    tableID,
+		base:       base,
+		size:       size,
+		index:      index,
+		filter:     filter,
+		metaSize:   metaLen + FooterSize,
+		numEntries: numEntries,
+		cache:      cache,
+	}, nil
+}
+
+// MetaSize returns the filter+index+footer byte count — the TableCache
+// miss penalty for this table.
+func (r *Reader) MetaSize() int64 { return r.metaSize }
+
+// NumEntries returns the entry count recorded in the footer.
+func (r *Reader) NumEntries() int { return r.numEntries }
+
+// MayContain consults the Bloom filter; a false result proves absence.
+func (r *Reader) MayContain(userKey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.filter.MayContain(userKey)
+}
+
+// readBlock returns the data block at h, consulting the block cache.
+func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	if h.offset < 0 || h.length < 0 || h.offset+h.length+blockTrailerSize > r.size {
+		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
+	}
+	if r.cache != nil {
+		if data, ok := r.cache.Get(r.tableID, h.offset); ok {
+			return data, nil
+		}
+	}
+	data := make([]byte, h.length+blockTrailerSize)
+	if err := vfs.ReadFull(r.f, data, r.base+h.offset); err != nil {
+		return nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
+	}
+	payload := data[:h.length]
+	want := binary.LittleEndian.Uint32(data[h.length:])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: data block checksum at %d", ErrCorrupt, h.offset)
+	}
+	if r.cache != nil {
+		r.cache.Insert(r.tableID, h.offset, payload)
+	}
+	return payload, nil
+}
+
+// Get searches for ikey and returns the first entry at-or-after it whose
+// user key matches — i.e. the newest version visible at ikey's sequence
+// number. found=false means the table holds no visible version. The seq
+// return lets callers searching overlapping tables (L0, fragmented levels)
+// select the newest version across tables.
+func (r *Reader) Get(ikey keys.InternalKey) (value []byte, seq keys.Seq, kind keys.Kind, found bool, err error) {
+	if !r.MayContain(ikey.UserKey()) {
+		return nil, 0, 0, false, nil
+	}
+	idx := r.index.Iter()
+	if !idx.Seek(ikey) {
+		return nil, 0, 0, false, idx.Err()
+	}
+	h, err := decodeHandle(idx.Value())
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	data, err := r.readBlock(h)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	br, err := block.NewReader(data)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	it := br.Iter()
+	if !it.Seek(ikey) {
+		return nil, 0, 0, false, it.Err()
+	}
+	if keys.CompareUser(it.Key().UserKey(), ikey.UserKey()) != 0 {
+		return nil, 0, 0, false, nil
+	}
+	return append([]byte(nil), it.Value()...), it.Key().Seq(), it.Key().Kind(), true, nil
+}
+
+// IterOpts controls table iteration.
+type IterOpts struct {
+	// Readahead, when positive, makes the iterator fetch data in chunks of
+	// at least this many bytes, bypassing the block cache. Compactions use
+	// it so their sequential reads do not pay a device op per 4 KiB block
+	// and do not pollute the cache.
+	Readahead int64
+}
+
+// NewIter returns an iterator over the table.
+func (r *Reader) NewIter(opts IterOpts) iterator.Iterator {
+	return &tableIter{r: r, opts: opts, indexIter: r.index.Iter()}
+}
+
+// tableIter is the two-level iterator: index iterator over block handles,
+// block iterator within the current data block.
+type tableIter struct {
+	r         *Reader
+	opts      IterOpts
+	indexIter *block.Iter
+	blockIter *block.Iter
+	err       error
+
+	// readahead buffer
+	raBuf []byte
+	raOff int64
+}
+
+var _ iterator.Iterator = (*tableIter)(nil)
+
+func (t *tableIter) loadBlock() bool {
+	h, err := decodeHandle(t.indexIter.Value())
+	if err != nil {
+		t.err = err
+		return false
+	}
+	var data []byte
+	if t.opts.Readahead > 0 {
+		data, err = t.readWithReadahead(h)
+	} else {
+		data, err = t.r.readBlock(h)
+	}
+	if err != nil {
+		t.err = err
+		return false
+	}
+	br, err := block.NewReader(data)
+	if err != nil {
+		t.err = err
+		return false
+	}
+	t.blockIter = br.Iter()
+	return true
+}
+
+// readWithReadahead serves block h from a sequential readahead buffer.
+func (t *tableIter) readWithReadahead(h blockHandle) ([]byte, error) {
+	if h.offset < 0 || h.length < 0 || h.offset+h.length+blockTrailerSize > t.r.size {
+		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
+	}
+	need := h.length + blockTrailerSize
+	if h.offset < t.raOff || h.offset+need > t.raOff+int64(len(t.raBuf)) {
+		chunk := t.opts.Readahead
+		if chunk < need {
+			chunk = need
+		}
+		if h.offset+chunk > t.r.size {
+			chunk = t.r.size - h.offset
+		}
+		buf := make([]byte, chunk)
+		if err := vfs.ReadFull(t.r.f, buf, t.r.base+h.offset); err != nil {
+			return nil, fmt.Errorf("sstable: readahead at %d: %w", h.offset, err)
+		}
+		t.raBuf = buf
+		t.raOff = h.offset
+	}
+	lo := h.offset - t.raOff
+	data := t.raBuf[lo : lo+h.length]
+	want := binary.LittleEndian.Uint32(t.raBuf[lo+h.length : lo+need])
+	if got := crc32.Checksum(data, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: data block checksum at %d", ErrCorrupt, h.offset)
+	}
+	return data, nil
+}
+
+// First implements iterator.Iterator.
+func (t *tableIter) First() bool {
+	t.err = nil
+	t.blockIter = nil
+	if !t.indexIter.First() {
+		t.err = t.indexIter.Err()
+		return false
+	}
+	if !t.loadBlock() {
+		return false
+	}
+	if t.blockIter.First() {
+		return true
+	}
+	return t.nextBlock()
+}
+
+// Seek implements iterator.Iterator.
+func (t *tableIter) Seek(target keys.InternalKey) bool {
+	t.err = nil
+	t.blockIter = nil
+	if !t.indexIter.Seek(target) {
+		t.err = t.indexIter.Err()
+		return false
+	}
+	if !t.loadBlock() {
+		return false
+	}
+	if t.blockIter.Seek(target) {
+		return true
+	}
+	if err := t.blockIter.Err(); err != nil {
+		t.err = err
+		return false
+	}
+	return t.nextBlock()
+}
+
+// nextBlock advances to the first entry of the next data block.
+func (t *tableIter) nextBlock() bool {
+	for {
+		if !t.indexIter.Next() {
+			t.err = t.indexIter.Err()
+			t.blockIter = nil
+			return false
+		}
+		if !t.loadBlock() {
+			return false
+		}
+		if t.blockIter.First() {
+			return true
+		}
+		if err := t.blockIter.Err(); err != nil {
+			t.err = err
+			return false
+		}
+	}
+}
+
+// Next implements iterator.Iterator.
+func (t *tableIter) Next() bool {
+	if !t.Valid() {
+		return false
+	}
+	if t.blockIter.Next() {
+		return true
+	}
+	if err := t.blockIter.Err(); err != nil {
+		t.err = err
+		return false
+	}
+	return t.nextBlock()
+}
+
+// Valid implements iterator.Iterator.
+func (t *tableIter) Valid() bool {
+	return t.err == nil && t.blockIter != nil && t.blockIter.Valid()
+}
+
+// Key implements iterator.Iterator.
+func (t *tableIter) Key() keys.InternalKey {
+	if !t.Valid() {
+		return nil
+	}
+	return t.blockIter.Key()
+}
+
+// Value implements iterator.Iterator.
+func (t *tableIter) Value() []byte {
+	if !t.Valid() {
+		return nil
+	}
+	return t.blockIter.Value()
+}
+
+// Err implements iterator.Iterator.
+func (t *tableIter) Err() error { return t.err }
+
+// Close implements iterator.Iterator. The underlying file is owned by the
+// table cache, not the iterator.
+func (t *tableIter) Close() error {
+	t.blockIter = nil
+	t.raBuf = nil
+	return nil
+}

@@ -1,0 +1,263 @@
+// Package sstable implements the on-disk sorted table format. A table is a
+// sequence of prefix-compressed data blocks followed by a Bloom filter
+// block, an index block, and a fixed-size footer.
+//
+// Crucially for BoLT, a table is addressed by a byte range — (base offset,
+// size) within a physical file — not by a whole file. A *logical SSTable*
+// is simply a table whose base offset is non-zero: several of them share
+// one compaction file, and every internal offset (block handles, footer
+// fields) is relative to the table base. Legacy mode stores exactly one
+// table per file at offset zero; the same reader handles both.
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/bolt-lsm/bolt/internal/block"
+	"github.com/bolt-lsm/bolt/internal/bloom"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// Magic identifies a table footer.
+const Magic = 0xb017_57ab_1e00_0001
+
+// FooterSize is the fixed footer length.
+const FooterSize = 48
+
+// blockTrailerSize is the per-block CRC32 trailer length.
+const blockTrailerSize = 4
+
+// ErrCorrupt reports a malformed table.
+var ErrCorrupt = errors.New("sstable: corrupt")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Config controls table construction.
+type Config struct {
+	// BlockSize is the uncompressed data block size target (default 4 KiB).
+	BlockSize int
+	// RestartInterval is the block restart interval (default 16).
+	RestartInterval int
+	// EntryPadding adds dead bytes per entry, modelling a less compact
+	// record format (see package block).
+	EntryPadding int
+	// BloomBitsPerKey configures the filter block; 0 selects the default
+	// (10, as in the paper), negative disables the filter.
+	BloomBitsPerKey int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.RestartInterval <= 0 {
+		c.RestartInterval = block.DefaultRestartInterval
+	}
+	if c.BloomBitsPerKey == 0 {
+		c.BloomBitsPerKey = bloom.DefaultBitsPerKey
+	}
+	return c
+}
+
+// TableInfo describes a finished table.
+type TableInfo struct {
+	// Base is the table's starting offset within the physical file.
+	Base int64
+	// Size is the table's total length in bytes, footer included.
+	Size int64
+	// Smallest and Largest are the first and last internal keys.
+	Smallest, Largest keys.InternalKey
+	// NumEntries is the number of entries.
+	NumEntries int
+	// MetaSize is the combined filter+index size in bytes — the cost of a
+	// TableCache miss.
+	MetaSize int64
+}
+
+// Writer builds one table, appending to f starting at offset base (which
+// must equal f's current size). The writer never calls Sync: the caller
+// owns barrier placement, which is the entire point of BoLT.
+type Writer struct {
+	f    vfs.File
+	base int64
+	cfg  Config
+
+	offset    int64 // bytes written so far, relative to base
+	dataBlock *block.Builder
+	indexB    *block.Builder
+
+	// pendingIndex holds the handle of the last finished data block; its
+	// index entry is emitted once the next key is known (for a short
+	// separator) or at Finish.
+	pendingIndex  bool
+	pendingHandle blockHandle
+	lastKey       []byte
+
+	userKeys   [][]byte
+	smallest   keys.InternalKey
+	numEntries int
+	finished   bool
+}
+
+type blockHandle struct {
+	offset int64 // relative to table base
+	length int64 // without trailer
+}
+
+func (h blockHandle) encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.offset))
+	return binary.AppendUvarint(dst, uint64(h.length))
+}
+
+func decodeHandle(data []byte) (blockHandle, error) {
+	off, n := binary.Uvarint(data)
+	if n <= 0 {
+		return blockHandle{}, fmt.Errorf("%w: bad handle offset", ErrCorrupt)
+	}
+	length, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return blockHandle{}, fmt.Errorf("%w: bad handle length", ErrCorrupt)
+	}
+	return blockHandle{offset: int64(off), length: int64(length)}, nil
+}
+
+// NewWriter starts a table at f's offset base.
+func NewWriter(f vfs.File, base int64, cfg Config) *Writer {
+	cfg = cfg.withDefaults()
+	return &Writer{
+		f:         f,
+		base:      base,
+		cfg:       cfg,
+		dataBlock: block.NewBuilder(cfg.RestartInterval, cfg.EntryPadding),
+		indexB:    block.NewBuilder(1, 0),
+	}
+}
+
+// Add appends an entry; keys must arrive in strictly increasing internal
+// key order.
+func (w *Writer) Add(key keys.InternalKey, value []byte) error {
+	if w.finished {
+		return errors.New("sstable: Add after Finish")
+	}
+	if w.pendingIndex {
+		// Emit a shortened separator between the previous block's last key
+		// and this key.
+		sep := keys.Separator(nil, keys.InternalKey(w.lastKey), key)
+		w.indexB.Add(sep, w.pendingHandle.encode(nil))
+		w.pendingIndex = false
+	}
+	if w.numEntries == 0 {
+		w.smallest = append(keys.InternalKey(nil), key...)
+	}
+	w.lastKey = append(w.lastKey[:0], key...)
+	w.numEntries++
+	if w.cfg.BloomBitsPerKey > 0 {
+		w.userKeys = append(w.userKeys, append([]byte(nil), key.UserKey()...))
+	}
+	w.dataBlock.Add(key, value)
+	if w.dataBlock.EstimatedSize() >= w.cfg.BlockSize {
+		return w.flushDataBlock()
+	}
+	return nil
+}
+
+func (w *Writer) flushDataBlock() error {
+	if w.dataBlock.Empty() {
+		return nil
+	}
+	handle, err := w.writeBlock(w.dataBlock.Finish())
+	if err != nil {
+		return err
+	}
+	w.dataBlock.Reset()
+	w.pendingHandle = handle
+	w.pendingIndex = true
+	return nil
+}
+
+// writeBlock appends data plus its CRC trailer and returns its handle.
+func (w *Writer) writeBlock(data []byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: int64(len(data))}
+	if _, err := w.f.Write(data); err != nil {
+		return blockHandle{}, fmt.Errorf("sstable: write block: %w", err)
+	}
+	var trailer [blockTrailerSize]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(data, castagnoli))
+	if _, err := w.f.Write(trailer[:]); err != nil {
+		return blockHandle{}, fmt.Errorf("sstable: write trailer: %w", err)
+	}
+	w.offset += int64(len(data)) + blockTrailerSize
+	return h, nil
+}
+
+// EstimatedSize returns the table size if Finish were called now, ignoring
+// filter/index overhead. Used to decide when to cut a table.
+func (w *Writer) EstimatedSize() int64 {
+	return w.offset + int64(w.dataBlock.EstimatedSize())
+}
+
+// NumEntries returns the number of entries added so far.
+func (w *Writer) NumEntries() int { return w.numEntries }
+
+// Empty reports whether nothing has been added.
+func (w *Writer) Empty() bool { return w.numEntries == 0 }
+
+// Finish writes the filter block, index block, and footer, returning the
+// table's description. It does not sync.
+func (w *Writer) Finish() (TableInfo, error) {
+	if w.finished {
+		return TableInfo{}, errors.New("sstable: double Finish")
+	}
+	w.finished = true
+	if err := w.flushDataBlock(); err != nil {
+		return TableInfo{}, err
+	}
+	if w.pendingIndex {
+		succ := keys.Successor(nil, keys.InternalKey(w.lastKey))
+		w.indexB.Add(succ, w.pendingHandle.encode(nil))
+		w.pendingIndex = false
+	}
+
+	var filterHandle blockHandle
+	if w.cfg.BloomBitsPerKey > 0 {
+		filter := bloom.Build(w.userKeys, w.cfg.BloomBitsPerKey)
+		var err error
+		filterHandle, err = w.writeBlock(filter)
+		if err != nil {
+			return TableInfo{}, err
+		}
+	}
+	indexHandle, err := w.writeBlock(w.indexB.Finish())
+	if err != nil {
+		return TableInfo{}, err
+	}
+
+	var footer [FooterSize]byte
+	binary.LittleEndian.PutUint64(footer[0:], uint64(indexHandle.offset))
+	binary.LittleEndian.PutUint64(footer[8:], uint64(indexHandle.length))
+	binary.LittleEndian.PutUint64(footer[16:], uint64(filterHandle.offset))
+	binary.LittleEndian.PutUint64(footer[24:], uint64(filterHandle.length))
+	binary.LittleEndian.PutUint64(footer[32:], uint64(w.numEntries))
+	binary.LittleEndian.PutUint64(footer[40:], Magic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return TableInfo{}, fmt.Errorf("sstable: write footer: %w", err)
+	}
+	w.offset += FooterSize
+
+	metaSize := int64(FooterSize) + indexHandle.length + blockTrailerSize
+	if filterHandle.length > 0 {
+		metaSize += filterHandle.length + blockTrailerSize
+	}
+	return TableInfo{
+		Base:       w.base,
+		Size:       w.offset,
+		Smallest:   w.smallest,
+		Largest:    append(keys.InternalKey(nil), w.lastKey...),
+		NumEntries: w.numEntries,
+		MetaSize:   metaSize,
+	}, nil
+}

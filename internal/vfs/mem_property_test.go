@@ -1,0 +1,150 @@
+package vfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMemFSMatchesModel drives MemFS with random operation sequences and
+// cross-checks contents against a plain map model, including the crash
+// image against a durability-tracking model.
+func TestMemFSMatchesModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMem()
+		type state struct {
+			all    []byte // current contents
+			synced int    // durable prefix length
+		}
+		model := map[string]*state{}        // live files
+		durable := map[string]bool{}        // dir entry durable
+		removedImage := map[string][]byte{} // files whose removal is volatile
+
+		handles := map[string]File{}
+		names := []string{"a", "b", "c", "d"}
+		openHandle := func(name string) File {
+			if h, ok := handles[name]; ok {
+				return h
+			}
+			return nil
+		}
+
+		for op := 0; op < 300; op++ {
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(10) {
+			case 0, 1: // create
+				if h := openHandle(name); h != nil {
+					h.Close()
+					delete(handles, name)
+				}
+				f, err := fs.Create(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles[name] = f
+				model[name] = &state{}
+				durable[name] = false
+				delete(removedImage, name)
+			case 2, 3, 4: // write
+				h := openHandle(name)
+				if h == nil {
+					continue
+				}
+				data := make([]byte, rng.Intn(100)+1)
+				rng.Read(data)
+				if _, err := h.Write(data); err != nil {
+					t.Fatal(err)
+				}
+				st := model[name]
+				st.all = append(st.all, data...)
+			case 5, 6: // sync
+				h := openHandle(name)
+				if h == nil {
+					continue
+				}
+				if err := h.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				st := model[name]
+				st.synced = len(st.all)
+				durable[name] = true
+				delete(removedImage, name)
+			case 7: // remove
+				if _, ok := model[name]; !ok {
+					continue
+				}
+				if h := openHandle(name); h != nil {
+					h.Close()
+					delete(handles, name)
+				}
+				if err := fs.Remove(name); err != nil {
+					t.Fatal(err)
+				}
+				if durable[name] {
+					removedImage[name] = append([]byte(nil), model[name].all[:model[name].synced]...)
+				}
+				delete(model, name)
+				delete(durable, name)
+			case 8: // verify current contents
+				if _, ok := model[name]; !ok {
+					continue
+				}
+				got, err := ReadWholeFile(fs, name)
+				if err != nil {
+					t.Fatalf("seed %d op %d: read %s: %v", seed, op, name, err)
+				}
+				if !bytes.Equal(got, model[name].all) {
+					t.Fatalf("seed %d op %d: %s contents diverged", seed, op, name)
+				}
+			case 9: // syncdir
+				fs.SyncDir()
+				for n := range model {
+					durable[n] = true
+				}
+				removedImage = map[string][]byte{}
+			}
+		}
+
+		// Crash check: clone must contain exactly the durable view.
+		clone := fs.CrashClone()
+		cloneNames, _ := clone.List()
+		got := map[string]bool{}
+		for _, n := range cloneNames {
+			got[n] = true
+		}
+		for n, st := range model {
+			want := durable[n]
+			if got[n] != want {
+				t.Fatalf("seed %d: file %s durable=%v but present=%v", seed, n, want, got[n])
+			}
+			if want {
+				data, err := ReadWholeFile(clone, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(data, st.all[:st.synced]) {
+					t.Fatalf("seed %d: %s crash image mismatch (%d vs %d bytes)",
+						seed, n, len(data), st.synced)
+				}
+			}
+		}
+		for n, img := range removedImage {
+			if _, stillLive := model[n]; stillLive {
+				continue // replaced by a newer live file; covered above
+			}
+			data, err := ReadWholeFile(clone, n)
+			if err != nil {
+				t.Fatalf("seed %d: resurrected file %s missing: %v", seed, n, err)
+			}
+			if !bytes.Equal(data, img) {
+				t.Fatalf("seed %d: resurrected %s content mismatch", seed, n)
+			}
+		}
+		for _, h := range handles {
+			h.Close()
+		}
+		_ = fmt.Sprint()
+	}
+}

@@ -1,0 +1,158 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/histogram"
+)
+
+// KV is the store interface the runner drives. Get reports found=false for
+// absent keys (not an error: YCSB's read-latest may race its inserts).
+type KV interface {
+	Put(key, value []byte) error
+	Get(key []byte) (found bool, err error)
+	Scan(start []byte, maxLen int) (scanned int, err error)
+}
+
+// RunConfig parameterizes one workload execution.
+type RunConfig struct {
+	// Workload and Distribution select the stream.
+	Workload     Workload
+	Distribution Distribution
+	// RecordCount is the number of records already loaded (0 for loads).
+	RecordCount int64
+	// Ops is the total operation count across all threads.
+	Ops int64
+	// Threads is the client thread count (the paper uses 4).
+	Threads int
+	// ValueSize is the payload size.
+	ValueSize int
+	// Seed makes the run deterministic.
+	Seed int64
+}
+
+// Result summarizes one workload execution.
+type Result struct {
+	Workload     Workload
+	Distribution Distribution
+	Ops          int64
+	Duration     time.Duration
+	// Throughput in operations/second.
+	Throughput float64
+	// Latency histograms by operation class, plus combined.
+	Read, Write, Scan, Overall *histogram.Histogram
+	// InsertedRecords is how many new records inserts added (so callers
+	// can carry RecordCount forward through the YCSB sequence).
+	InsertedRecords int64
+}
+
+// Run executes the workload against kv.
+func Run(kv KV, cfg RunConfig) (*Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 4
+	}
+	if cfg.Ops <= 0 {
+		return nil, fmt.Errorf("ycsb: zero ops")
+	}
+	res := &Result{
+		Workload:     cfg.Workload,
+		Distribution: cfg.Distribution,
+		Ops:          cfg.Ops,
+		Read:         &histogram.Histogram{},
+		Write:        &histogram.Histogram{},
+		Scan:         &histogram.Histogram{},
+		Overall:      &histogram.Histogram{},
+	}
+	perThread := cfg.Ops / int64(cfg.Threads)
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Threads)
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		ops := perThread
+		if t == cfg.Threads-1 {
+			ops += cfg.Ops % int64(cfg.Threads) // remainder to the last thread
+		}
+		gen := NewGenerator(GeneratorConfig{
+			Workload:     cfg.Workload,
+			Distribution: cfg.Distribution,
+			RecordCount:  cfg.RecordCount,
+			InsertStart:  cfg.RecordCount + int64(t)*perThread,
+			ValueSize:    cfg.ValueSize,
+			Seed:         cfg.Seed + int64(t)*7919,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := runThread(kv, gen, ops, res); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Throughput = float64(cfg.Ops) / res.Duration.Seconds()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+func runThread(kv KV, gen *Generator, ops int64, res *Result) error {
+	var inserted int64
+	for i := int64(0); i < ops; i++ {
+		op := gen.Next()
+		opStart := time.Now()
+		var err error
+		switch op.Kind {
+		case OpRead:
+			_, err = kv.Get(op.Key)
+		case OpUpdate, OpInsert:
+			err = kv.Put(op.Key, op.Value)
+			if op.Kind == OpInsert {
+				inserted++
+			}
+		case OpScan:
+			_, err = kv.Scan(op.Key, op.ScanLen)
+		case OpReadModifyWrite:
+			if _, err = kv.Get(op.Key); err == nil {
+				err = kv.Put(op.Key, op.Value)
+			}
+		}
+		elapsed := time.Since(opStart)
+		if err != nil {
+			return fmt.Errorf("ycsb: %s %q: %w", op.Kind, op.Key, err)
+		}
+		res.Overall.Record(elapsed)
+		switch op.Kind {
+		case OpRead:
+			res.Read.Record(elapsed)
+		case OpUpdate, OpInsert, OpReadModifyWrite:
+			res.Write.Record(elapsed)
+		case OpScan:
+			res.Scan.Record(elapsed)
+		}
+	}
+	addInserted(res, inserted)
+	return nil
+}
+
+var insertedMu sync.Mutex
+
+func addInserted(res *Result, n int64) {
+	insertedMu.Lock()
+	res.InsertedRecords += n
+	insertedMu.Unlock()
+}
+
+// Sequence returns the paper's recommended workload submission order:
+// LA, A, B, C, F, D, then (fresh database) LE, E.
+func Sequence() [][]Workload {
+	return [][]Workload{
+		{LoadA, WorkloadA, WorkloadB, WorkloadC, WorkloadF, WorkloadD},
+		{LoadE, WorkloadE},
+	}
+}

@@ -1,0 +1,339 @@
+// Package ycsb implements the YCSB workload generator and runner used by
+// the paper's evaluation: Load A / Load E bulk loads plus workloads A–F,
+// with scrambled-zipfian (Ξ=0.99), uniform, and latest request
+// distributions, 23-byte keys ("user" + 19 digits, as the paper measures),
+// and configurable value sizes.
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// OpKind is the type of one generated operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Workload identifies one of the paper's YCSB workloads.
+type Workload int
+
+// The workloads, in the paper's submission order: LA, A, B, C, F, D,
+// (delete database), LE, E.
+const (
+	LoadA     Workload = iota + 1 // 100% insert
+	WorkloadA                     // 50% read / 50% update, zipfian
+	WorkloadB                     // 95% read / 5% update, zipfian
+	WorkloadC                     // 100% read, zipfian
+	WorkloadD                     // 95% read-latest / 5% insert
+	WorkloadE                     // 95% scan / 5% insert
+	WorkloadF                     // 50% read / 50% read-modify-write
+	LoadE                         // 100% insert (fresh DB for E)
+)
+
+// String names the workload as the paper does.
+func (w Workload) String() string {
+	switch w {
+	case LoadA:
+		return "LA"
+	case WorkloadA:
+		return "A"
+	case WorkloadB:
+		return "B"
+	case WorkloadC:
+		return "C"
+	case WorkloadD:
+		return "D"
+	case WorkloadE:
+		return "E"
+	case WorkloadF:
+		return "F"
+	case LoadE:
+		return "LE"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// IsLoad reports whether the workload is a bulk load phase.
+func (w Workload) IsLoad() bool { return w == LoadA || w == LoadE }
+
+// Distribution selects how request keys are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	Zipfian Distribution = iota + 1
+	Uniform
+	Latest
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case Zipfian:
+		return "zipfian"
+	case Uniform:
+		return "uniform"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Key returns the YCSB key for record index i: "user" plus 19 digits of a
+// scrambled counter — 23 bytes, matching the paper's key size.
+func Key(i int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	h := fnv.New64a()
+	h.Write(b[:])
+	return []byte(fmt.Sprintf("user%019d", h.Sum64()%1e19))
+}
+
+// zipf implements YCSB's ZipfianGenerator (Gray et al.): draws ranks in
+// [0, n) with parameter theta, rank 0 most popular, supporting a growing
+// item count without re-deriving the full distribution.
+type zipf struct {
+	rng   *rand.Rand
+	n     int64
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+const zipfTheta = 0.99
+
+func newZipf(rng *rand.Rand, n int64) *zipf {
+	z := &zipf{rng: rng, theta: zipfTheta}
+	z.grow(n)
+	return z
+}
+
+// zetaStatic computes the zeta sum incrementally from a known prefix.
+func zetaStatic(sum float64, from, to int64, theta float64) float64 {
+	for i := from; i < to; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+	}
+	return sum
+}
+
+func (z *zipf) grow(n int64) {
+	if n <= z.n {
+		return
+	}
+	z.zetan = zetaStatic(z.zetan, z.n, n, z.theta)
+	z.n = n
+	z.zeta2 = zetaStatic(0, 0, 2, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+}
+
+func (z *zipf) next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Generator produces one client's operation stream. Generators are not
+// safe for concurrent use; the Runner gives each client thread its own.
+type Generator struct {
+	workload Workload
+	dist     Distribution
+	rng      *rand.Rand
+	zipf     *zipf
+
+	// recordCount is the number of loaded records; insertSeq allocates new
+	// record indexes for insert operations (shared monotonic counter would
+	// be needed for exact YCSB semantics across threads; per-thread
+	// striping keeps determinism instead).
+	recordCount int64
+	insertSeq   int64
+	valueSize   int
+	scanMaxLen  int
+	valueBuf    []byte
+}
+
+// GeneratorConfig parameterizes NewGenerator.
+type GeneratorConfig struct {
+	// Workload selects the operation mix.
+	Workload Workload
+	// Distribution selects the request distribution (ignored for loads
+	// and for D, which always reads latest).
+	Distribution Distribution
+	// RecordCount is the number of records loaded before the run.
+	RecordCount int64
+	// InsertStart is the first record index this generator may insert
+	// (stripe the space across threads).
+	InsertStart int64
+	// ValueSize is the value payload length (the paper uses 1 KB and
+	// 100 B).
+	ValueSize int
+	// ScanMaxLen bounds scan lengths (default 100, YCSB's default).
+	ScanMaxLen int
+	// Seed makes the stream deterministic.
+	Seed int64
+}
+
+// Op is one generated operation. Value aliases an internal buffer and must
+// be consumed before the next call.
+type Op struct {
+	Kind    OpKind
+	Key     []byte
+	Value   []byte
+	ScanLen int
+}
+
+// NewGenerator returns a generator for one client thread.
+func NewGenerator(cfg GeneratorConfig) *Generator {
+	if cfg.ScanMaxLen <= 0 {
+		cfg.ScanMaxLen = 100
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 1024
+	}
+	if cfg.Distribution == 0 {
+		cfg.Distribution = Zipfian
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		workload:    cfg.Workload,
+		dist:        cfg.Distribution,
+		rng:         rng,
+		recordCount: cfg.RecordCount,
+		insertSeq:   cfg.InsertStart,
+		valueSize:   cfg.ValueSize,
+		scanMaxLen:  cfg.ScanMaxLen,
+		valueBuf:    make([]byte, cfg.ValueSize),
+	}
+	if cfg.RecordCount > 0 {
+		g.zipf = newZipf(rand.New(rand.NewSource(cfg.Seed+1)), cfg.RecordCount)
+	}
+	return g
+}
+
+// value fills the value buffer with cheap pseudo-random bytes.
+func (g *Generator) value() []byte {
+	// Fill 8 bytes at a time; compressibility does not matter (the paper
+	// disables compression).
+	for i := 0; i+8 <= len(g.valueBuf); i += 8 {
+		binary.LittleEndian.PutUint64(g.valueBuf[i:], g.rng.Uint64())
+	}
+	return g.valueBuf
+}
+
+// chooseKey draws a request key index.
+func (g *Generator) chooseKey() int64 {
+	switch g.dist {
+	case Uniform:
+		return g.rng.Int63n(g.recordCount)
+	case Latest:
+		r := g.zipf.next()
+		k := g.recordCount - 1 - r
+		if k < 0 {
+			k = 0
+		}
+		return k
+	default: // Zipfian, scrambled as in YCSB
+		r := g.zipf.next()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(r))
+		h := fnv.New64a()
+		h.Write(b[:])
+		return int64(h.Sum64() % uint64(g.recordCount))
+	}
+}
+
+// insertKey allocates a fresh record index and grows the request space.
+func (g *Generator) insertKey() int64 {
+	k := g.insertSeq
+	g.insertSeq++
+	g.recordCount++
+	if g.zipf != nil {
+		g.zipf.grow(g.recordCount)
+	}
+	return k
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	switch g.workload {
+	case LoadA, LoadE:
+		return Op{Kind: OpInsert, Key: Key(g.insertKey()), Value: g.value()}
+	case WorkloadA:
+		if g.rng.Intn(100) < 50 {
+			return Op{Kind: OpRead, Key: Key(g.chooseKey())}
+		}
+		return Op{Kind: OpUpdate, Key: Key(g.chooseKey()), Value: g.value()}
+	case WorkloadB:
+		if g.rng.Intn(100) < 95 {
+			return Op{Kind: OpRead, Key: Key(g.chooseKey())}
+		}
+		return Op{Kind: OpUpdate, Key: Key(g.chooseKey()), Value: g.value()}
+	case WorkloadC:
+		return Op{Kind: OpRead, Key: Key(g.chooseKey())}
+	case WorkloadD:
+		if g.rng.Intn(100) < 95 {
+			// Read-latest: force the latest distribution regardless of the
+			// configured one, per YCSB.
+			r := g.zipf.next()
+			k := g.recordCount - 1 - r
+			if k < 0 {
+				k = 0
+			}
+			return Op{Kind: OpRead, Key: Key(k)}
+		}
+		return Op{Kind: OpInsert, Key: Key(g.insertKey()), Value: g.value()}
+	case WorkloadE:
+		if g.rng.Intn(100) < 95 {
+			return Op{
+				Kind:    OpScan,
+				Key:     Key(g.chooseKey()),
+				ScanLen: 1 + g.rng.Intn(g.scanMaxLen),
+			}
+		}
+		return Op{Kind: OpInsert, Key: Key(g.insertKey()), Value: g.value()}
+	case WorkloadF:
+		if g.rng.Intn(100) < 50 {
+			return Op{Kind: OpRead, Key: Key(g.chooseKey())}
+		}
+		return Op{Kind: OpReadModifyWrite, Key: Key(g.chooseKey()), Value: g.value()}
+	default:
+		return Op{Kind: OpRead, Key: Key(0)}
+	}
+}

@@ -1,0 +1,265 @@
+package ycsb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestKeyFormat(t *testing.T) {
+	for _, i := range []int64{0, 1, 42, 1 << 40} {
+		k := Key(i)
+		if len(k) != 23 {
+			t.Fatalf("Key(%d) = %q, len %d want 23", i, k, len(k))
+		}
+		if string(k[:4]) != "user" {
+			t.Fatalf("Key(%d) = %q", i, k)
+		}
+	}
+	// Deterministic and (practically) collision-free over a small range.
+	seen := map[string]bool{}
+	for i := int64(0); i < 100000; i++ {
+		k := string(Key(i))
+		if seen[k] {
+			t.Fatalf("key collision at %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestZipfSkewAndBounds(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Workload: WorkloadC, RecordCount: 1000, Seed: 1})
+	counts := map[string]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		counts[string(op.Key)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipfian: the hottest key should be drawn far more than 1/n of the time.
+	if max < draws/100 {
+		t.Fatalf("no skew: max count %d of %d draws over 1000 keys", max, draws)
+	}
+	if len(counts) < 300 {
+		t.Fatalf("coverage too small: %d distinct keys", len(counts))
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := NewGenerator(GeneratorConfig{Workload: WorkloadC, Distribution: Uniform, RecordCount: 1000, Seed: 2})
+	counts := map[string]int{}
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[string(g.Next().Key)]++
+	}
+	if len(counts) < 990 {
+		t.Fatalf("uniform should touch nearly all keys: %d", len(counts))
+	}
+	for k, c := range counts {
+		if c > draws/100 {
+			t.Fatalf("uniform key %s drawn %d times", k, c)
+		}
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	cases := []struct {
+		w          Workload
+		wantKinds  map[OpKind]bool
+		domKind    OpKind
+		domAtLeast float64
+	}{
+		{LoadA, map[OpKind]bool{OpInsert: true}, OpInsert, 1.0},
+		{WorkloadA, map[OpKind]bool{OpRead: true, OpUpdate: true}, OpRead, 0.40},
+		{WorkloadB, map[OpKind]bool{OpRead: true, OpUpdate: true}, OpRead, 0.90},
+		{WorkloadC, map[OpKind]bool{OpRead: true}, OpRead, 1.0},
+		{WorkloadD, map[OpKind]bool{OpRead: true, OpInsert: true}, OpRead, 0.90},
+		{WorkloadE, map[OpKind]bool{OpScan: true, OpInsert: true}, OpScan, 0.90},
+		{WorkloadF, map[OpKind]bool{OpRead: true, OpReadModifyWrite: true}, OpRead, 0.40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.w.String(), func(t *testing.T) {
+			g := NewGenerator(GeneratorConfig{Workload: tc.w, RecordCount: 1000, InsertStart: 1000, Seed: 5})
+			counts := map[OpKind]int{}
+			const n = 20000
+			for i := 0; i < n; i++ {
+				op := g.Next()
+				counts[op.Kind]++
+				if !tc.wantKinds[op.Kind] {
+					t.Fatalf("unexpected op kind %v", op.Kind)
+				}
+				if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+					t.Fatalf("scan len %d out of range", op.ScanLen)
+				}
+				if (op.Kind == OpInsert || op.Kind == OpUpdate || op.Kind == OpReadModifyWrite) && len(op.Value) == 0 {
+					t.Fatalf("%v without value", op.Kind)
+				}
+			}
+			if frac := float64(counts[tc.domKind]) / n; frac < tc.domAtLeast {
+				t.Fatalf("dominant kind %v fraction %.3f < %.3f (%v)", tc.domKind, frac, tc.domAtLeast, counts)
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []string {
+		g := NewGenerator(GeneratorConfig{Workload: WorkloadA, RecordCount: 500, Seed: 9})
+		var out []string
+		for i := 0; i < 100; i++ {
+			op := g.Next()
+			out = append(out, fmt.Sprintf("%v:%s", op.Kind, op.Key))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// mapKV is a trivial in-memory KV for runner tests.
+type mapKV struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func (kv *mapKV) Put(key, value []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.m == nil {
+		kv.m = map[string][]byte{}
+	}
+	kv.m[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+func (kv *mapKV) Get(key []byte) (bool, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	_, ok := kv.m[string(key)]
+	return ok, nil
+}
+
+func (kv *mapKV) Scan(start []byte, maxLen int) (int, error) {
+	return maxLen, nil
+}
+
+func TestRunnerLoadThenRead(t *testing.T) {
+	kv := &mapKV{}
+	load, err := Run(kv, RunConfig{Workload: LoadA, Ops: 4000, Threads: 4, ValueSize: 64, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.InsertedRecords != 4000 {
+		t.Fatalf("inserted %d", load.InsertedRecords)
+	}
+	if len(kv.m) != 4000 {
+		t.Fatalf("store has %d records", len(kv.m))
+	}
+	if load.Write.Count() != 4000 || load.Overall.Count() != 4000 {
+		t.Fatalf("histograms: write=%d overall=%d", load.Write.Count(), load.Overall.Count())
+	}
+	if load.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+
+	// Reads against the loaded records must all hit.
+	reads, err := Run(kv, RunConfig{Workload: WorkloadC, RecordCount: 4000, Ops: 2000, Threads: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads.Read.Count() != 2000 {
+		t.Fatalf("read count %d", reads.Read.Count())
+	}
+}
+
+func TestRunnerReadsHitLoadedKeys(t *testing.T) {
+	// Every key chosen by the request distribution must exist after load
+	// (index -> Key mapping consistency).
+	kv := &mapKV{}
+	if _, err := Run(kv, RunConfig{Workload: LoadA, Ops: 1000, Threads: 2, ValueSize: 16, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(GeneratorConfig{Workload: WorkloadC, RecordCount: 1000, Seed: 4})
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if _, ok := kv.m[string(op.Key)]; !ok {
+			t.Fatalf("request for unloaded key %q", op.Key)
+		}
+	}
+}
+
+func TestRunnerWorkloadFRecordsBothOps(t *testing.T) {
+	kv := &mapKV{}
+	Run(kv, RunConfig{Workload: LoadA, Ops: 500, Threads: 1, ValueSize: 16, Seed: 5})
+	res, err := Run(kv, RunConfig{Workload: WorkloadF, RecordCount: 500, Ops: 1000, Threads: 2, ValueSize: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Read.Count() == 0 || res.Write.Count() == 0 {
+		t.Fatalf("F mix: read=%d write=%d", res.Read.Count(), res.Write.Count())
+	}
+	if res.Read.Count()+res.Write.Count() != res.Overall.Count() {
+		t.Fatalf("histogram accounting off")
+	}
+}
+
+func TestSequenceShape(t *testing.T) {
+	seq := Sequence()
+	if len(seq) != 2 || seq[0][0] != LoadA || seq[1][0] != LoadE {
+		t.Fatalf("sequence = %v", seq)
+	}
+}
+
+func TestLatestDistributionPrefersRecent(t *testing.T) {
+	const records = 10000
+	g := NewGenerator(GeneratorConfig{
+		Workload: WorkloadC, Distribution: Latest, RecordCount: records, Seed: 8,
+	})
+	// The newest records' keys must dominate the stream.
+	recentKeys := map[string]bool{}
+	for i := records - 100; i < records; i++ {
+		recentKeys[string(Key(int64(i)))] = true
+	}
+	recent := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if recentKeys[string(g.Next().Key)] {
+			recent++
+		}
+	}
+	// 100 of 10000 keys are "recent" (1%); latest skew should push their
+	// share far above that.
+	if float64(recent)/draws < 0.30 {
+		t.Fatalf("latest distribution too flat: %d/%d recent", recent, draws)
+	}
+}
+
+func TestWorkloadDReadsFindInsertedKeys(t *testing.T) {
+	// In workload D, read-latest targets indexes below the generator's own
+	// insert cursor, so reads hit keys that exist (modulo cross-thread
+	// striping races, absent in a single-threaded generator).
+	kv := &mapKV{}
+	if _, err := Run(kv, RunConfig{Workload: LoadA, Ops: 1000, Threads: 1, ValueSize: 16, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(GeneratorConfig{Workload: WorkloadD, RecordCount: 1000, InsertStart: 1000, ValueSize: 16, Seed: 12})
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpInsert {
+			kv.Put(op.Key, op.Value)
+			continue
+		}
+		if _, ok := kv.m[string(op.Key)]; !ok {
+			t.Fatalf("workload D read of absent key %q at op %d", op.Key, i)
+		}
+	}
+}
