@@ -56,7 +56,9 @@ func main() {
 			stats:      db.Stats(),
 			barrier:    sim.BarrierStall,
 		})
-		db.Close()
+		if err := db.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("%d random inserts of 512 B on the same simulated SSD\n\n", *ops)

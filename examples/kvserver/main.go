@@ -70,7 +70,7 @@ func runServer(addr, dir string) error {
 	go func() {
 		<-stop
 		log.Print("kvserver: shutting down")
-		ln.Close()
+		_ = ln.Close() // unblocks Accept; its error is the shutdown signal
 	}()
 
 	for {

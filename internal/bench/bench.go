@@ -246,7 +246,7 @@ func RunSequence(o *bolt.Options, s Scale, dist ycsb.Distribution, only map[ycsb
 			}
 			res, err := ycsb.Run(kv, cfg)
 			if err != nil {
-				db.Close()
+				_ = db.Close()
 				return nil, fmt.Errorf("bench: %s on %s: %w", w, o.Profile, err)
 			}
 			records += res.InsertedRecords

@@ -98,7 +98,7 @@ func Fig6(p Params) error {
 			Workload: ycsb.LoadA, Ops: loadOps,
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 1,
 		}); err != nil {
-			db.Close()
+			_ = db.Close()
 			return err
 		}
 		// Separate the population's compaction debt from the read
@@ -112,7 +112,7 @@ func Fig6(p Params) error {
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 2,
 		})
 		if err != nil {
-			db.Close()
+			_ = db.Close()
 			return err
 		}
 		after := db.Stats()
@@ -122,7 +122,9 @@ func Fig6(p Params) error {
 			after.TableCacheMisses-before.TableCacheMisses,
 			fmtBytes(after.MetaBytesRead-before.MetaBytesRead),
 			res.Throughput, fmtLatencyRow(res.Read))
-		db.Close()
+		if err := db.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// applyMethods commit a MANIFEST edit — the second barrier of the
+// two-barrier protocol. Once one of these succeeds, every file the edit
+// adds is validated and must already be durable.
+var applyMethods = map[string]bool{
+	"LogAndApply":       true,
+	"logAndApplyLocked": true,
+	"CommitPrepared":    true,
+}
+
+// syncProviders are calls that pay (or transitively pay) the first
+// barrier: a data-file fsync covering the tables an edit is about to
+// validate.
+var syncProviders = map[string]bool{
+	"Sync":                  true, // direct file barrier
+	"writeTables":           true, // flush path: syncs each output in finish
+	"writeCompactionTables": true, // compaction path: same, via tableOutput
+	"finish":                true, // tableOutput.finish: the BoLT single barrier
+	"cutTable":              true, // legacy per-table barrier
+}
+
+// editAddMethods record a file into a version edit.
+var editAddMethods = map[string]bool{
+	"AddFile": true,
+}
+
+// BarrierOrder enforces the paper's two-barrier contract lexically: any
+// function that both builds a version edit with AddFile and commits it
+// via LogAndApply/logAndApplyLocked/CommitPrepared must have a
+// sync-providing call (Sync, writeTables, writeCompactionTables, finish)
+// before the commit. Methods on VersionSet itself are exempt — they are
+// the barrier implementation, not its users — as are test files, which
+// fabricate edits for metas that have no backing data. The check is
+// lexical, not path-sensitive: a sync in an untaken branch satisfies it,
+// so it is a reviewer aid plus a tripwire, with the runtime
+// boltinvariants build tag as the sound twin.
+var BarrierOrder = &Analyzer{
+	Name: "barrierorder",
+	Doc:  "flags MANIFEST commits reachable without a preceding data-file sync",
+	Run:  runBarrierOrder,
+}
+
+func runBarrierOrder(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		if isTestFile(p, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if receiverTypeName(fd) == "VersionSet" {
+				continue
+			}
+			var addsFile bool
+			var applies []*ast.CallExpr
+			var syncEnds []token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(call)
+				switch {
+				case editAddMethods[name]:
+					addsFile = true
+				case applyMethods[name]:
+					applies = append(applies, call)
+				case syncProviders[name]:
+					syncEnds = append(syncEnds, call.End())
+				}
+				return true
+			})
+			if !addsFile {
+				continue
+			}
+			for _, apply := range applies {
+				covered := false
+				for _, end := range syncEnds {
+					if end < apply.Pos() {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(apply.Pos()),
+						Analyzer: "barrierorder",
+						Message: fmt.Sprintf("%s commits a version edit that adds files, but no data-file sync (Sync/writeTables/writeCompactionTables/finish) precedes it in %s; the MANIFEST barrier must follow the data barrier",
+							exprString(apply.Fun), fd.Name.Name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+// Package boltvet implements BoLT-specific static analysis. The engine's
+// crash consistency rests on invariants that ordinary Go tooling cannot
+// see: durability-barrier errors must never be dropped (syncerr), the
+// MANIFEST commit record must not validate data that has not been synced
+// (barrierorder), and mutex-guarded state must only be touched under its
+// mutex or from methods following the *Locked naming convention
+// (lockcheck). cmd/bolt-vet runs every analyzer over the module; the
+// analyzers themselves are tested against testdata fixtures with
+// `// want "regexp"` expectations.
+//
+// Findings can be suppressed with a comment on the same line or the line
+// above:
+//
+//	//boltvet:ignore syncerr -- reason
+//	//boltvet:ignore all -- reason
+//
+// or for a whole function by placing the comment in the function's doc
+// comment. Every suppression should carry a reason; the suppression is
+// itself greppable review surface.
+package boltvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-checking errors; analysis proceeds with
+	// partial type information.
+	TypeErrors []error
+}
+
+// Analyzer is one named check over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// All returns every analyzer in the suite.
+func All() []*Analyzer {
+	return []*Analyzer{SyncErr, BarrierOrder, LockCheck}
+}
+
+// RunAll applies every analyzer to every package, dropping suppressed
+// findings and sorting the rest by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		sup := newSuppressions(p)
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if !sup.suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+var ignoreRe = regexp.MustCompile(`//\s*boltvet:ignore\s+([a-z, ]+)`)
+
+// suppressions indexes //boltvet:ignore comments by file line and by
+// function extent.
+type suppressions struct {
+	fset *token.FileSet
+	// lines maps filename -> line -> set of suppressed analyzer names
+	// ("all" suppresses everything).
+	lines map[string]map[int]map[string]bool
+	// spans suppress an analyzer over a position range (function bodies
+	// whose doc comment carries the ignore).
+	spans []supSpan
+}
+
+type supSpan struct {
+	file       string
+	start, end int // lines, inclusive
+	names      map[string]bool
+}
+
+func parseIgnoreNames(text string) map[string]bool {
+	m := ignoreRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(m[1], ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+func newSuppressions(p *Package) *suppressions {
+	s := &suppressions{fset: p.Fset, lines: make(map[string]map[int]map[string]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseIgnoreNames(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := s.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s.lines[pos.Filename] = byLine
+				}
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = make(map[string]bool)
+				}
+				for n := range names {
+					byLine[pos.Line][n] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var names map[string]bool
+			for _, c := range fd.Doc.List {
+				if n := parseIgnoreNames(c.Text); n != nil {
+					if names == nil {
+						names = make(map[string]bool)
+					}
+					for k := range n {
+						names[k] = true
+					}
+				}
+			}
+			if names != nil {
+				start := p.Fset.Position(fd.Pos())
+				end := p.Fset.Position(fd.End())
+				s.spans = append(s.spans, supSpan{file: start.Filename, start: start.Line, end: end.Line, names: names})
+			}
+		}
+	}
+	return s
+}
+
+func matchNames(names map[string]bool, analyzer string) bool {
+	return names != nil && (names["all"] || names[analyzer])
+}
+
+func (s *suppressions) suppressed(f Finding) bool {
+	if byLine := s.lines[f.Pos.Filename]; byLine != nil {
+		if matchNames(byLine[f.Pos.Line], f.Analyzer) || matchNames(byLine[f.Pos.Line-1], f.Analyzer) {
+			return true
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.file == f.Pos.Filename && f.Pos.Line >= sp.start && f.Pos.Line <= sp.end && matchNames(sp.names, f.Analyzer) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared type helpers ---
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// callResultHasError reports whether the call expression's result includes
+// an error value, using type information when available. Without type info
+// it conservatively returns false (no finding rather than a false one).
+func callResultHasError(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return tv.Type != nil && types.Identical(tv.Type, errorType)
+	}
+}
+
+// errorResultIndices returns the result positions of call holding an error.
+func errorResultIndices(p *Package, call *ast.CallExpr) []int {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if t, ok := tv.Type.(*types.Tuple); ok {
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if types.Identical(tv.Type, errorType) {
+		return []int{0}
+	}
+	return nil
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// exprString renders a call target for diagnostics (e.g. "f.Sync").
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(v.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[...]"
+	case *ast.ParenExpr:
+		return "(" + exprString(v.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(v.X)
+	}
+	return "expr"
+}
+
+// isTestFile reports whether the file is a *_test.go file.
+func isTestFile(p *Package, f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// receiverTypeName returns the receiver's named type for a method decl
+// ("" for plain functions), stripping any pointer.
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch v := t.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.IndexExpr: // generic receiver lru[K, V]
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

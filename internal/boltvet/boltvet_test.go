@@ -1,0 +1,135 @@
+package boltvet
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixtures under testdata/src declare expected findings with trailing
+// comments of the form:
+//
+//	// want `regexp`
+//
+// Every finding must match exactly one want on its line, and every want
+// must be matched by a finding — the same convention (minus the
+// go/analysis dependency) as analysistest.
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantSegRe = regexp.MustCompile("`([^`]*)`")
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			segs := wantSegRe.FindAllStringSubmatch(after, -1)
+			if len(segs) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (need backquoted regexp)", e.Name(), i+1)
+			}
+			for _, seg := range segs {
+				re, err := regexp.Compile(seg[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, seg[1], err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", dir)
+	}
+	return wants
+}
+
+func runFixture(t *testing.T, fixture string, analyzer *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkgs, err := Load(LoadConfig{}, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", dir)
+	}
+	findings := RunAll(pkgs, []*Analyzer{analyzer})
+	wants := collectWants(t, dir)
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestSyncErrFixture(t *testing.T)      { runFixture(t, "syncerr", SyncErr) }
+func TestBarrierOrderFixture(t *testing.T) { runFixture(t, "barrierorder", BarrierOrder) }
+func TestLockCheckFixture(t *testing.T)    { runFixture(t, "lockcheck", LockCheck) }
+
+// TestFixturesTripTheDriver pins the CI contract: pointing bolt-vet at any
+// fixture package must produce findings (the driver exits 1 when findings
+// are non-empty), so a regression that silences an analyzer outright fails
+// here rather than silently vetting nothing.
+func TestFixturesTripTheDriver(t *testing.T) {
+	for _, fixture := range []string{"syncerr", "barrierorder", "lockcheck"} {
+		pkgs, err := Load(LoadConfig{}, filepath.Join("testdata", "src", fixture))
+		if err != nil {
+			t.Fatalf("load %s: %v", fixture, err)
+		}
+		if findings := RunAll(pkgs, All()); len(findings) == 0 {
+			t.Errorf("fixture %s produced no findings; bolt-vet would exit 0 on it", fixture)
+		}
+	}
+}
+
+// TestSuiteSelfClean dogfoods the analyzers on this package itself.
+func TestSuiteSelfClean(t *testing.T) {
+	pkgs, err := Load(LoadConfig{Tests: true}, ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Errorf("typecheck %s: %v", p.ImportPath, te)
+		}
+	}
+	for _, f := range RunAll(pkgs, All()) {
+		t.Errorf("finding in boltvet itself: %s", f)
+	}
+}

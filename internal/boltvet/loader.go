@@ -1,0 +1,140 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadConfig controls package discovery and parsing.
+type LoadConfig struct {
+	// Tests includes *_test.go files (both in-package and external test
+	// packages).
+	Tests bool
+	// BuildTags are extra build constraints honoured during file
+	// selection (e.g. "boltinvariants").
+	BuildTags []string
+}
+
+// Load discovers, parses, and type-checks the packages named by patterns.
+// A pattern is either a directory path or a path ending in "/..." which
+// walks recursively. Directories named testdata, vendor, or starting with
+// "." or "_" are skipped during walks but analyzed when named explicitly
+// (so the fixture corpus can be vetted on purpose).
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Clean(rest)
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				addDir(path)
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("boltvet: walk %s: %w", root, err)
+			}
+		} else {
+			addDir(pat)
+		}
+	}
+	sort.Strings(dirs)
+
+	ctx := build.Default
+	ctx.BuildTags = append(ctx.BuildTags, cfg.BuildTags...)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		bp, err := ctx.ImportDir(dir, 0)
+		if err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				continue
+			}
+			return nil, fmt.Errorf("boltvet: %s: %w", dir, err)
+		}
+		names := append([]string(nil), bp.GoFiles...)
+		if cfg.Tests {
+			names = append(names, bp.TestGoFiles...)
+		}
+		if p, err := loadFiles(fset, imp, dir, bp.ImportPath, names); err != nil {
+			return nil, err
+		} else if p != nil {
+			pkgs = append(pkgs, p)
+		}
+		if cfg.Tests && len(bp.XTestGoFiles) > 0 {
+			p, err := loadFiles(fset, imp, dir, bp.ImportPath+"_test", bp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			if p != nil {
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+func loadFiles(fset *token.FileSet, imp types.Importer, dir, importPath string, names []string) (*Package, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("boltvet: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	p := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tp, err := conf.Check(importPath, fset, files, p.Info)
+	p.Types = tp
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	return p, nil
+}

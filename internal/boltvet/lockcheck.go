@@ -1,0 +1,269 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the repo's *Locked naming convention around
+// mutex-guarded struct fields.
+//
+// Guarded fields are declared in the source, not in the analyzer:
+//
+//   - A sync.Mutex/sync.RWMutex field whose comment matches
+//     "guards ... below" marks every subsequent field of the struct as
+//     guarded by it, except fields of atomic/mutex/waitgroup types and
+//     fields whose comment contains "not guarded".
+//   - A field comment "guarded by <name>" attaches the field to that
+//     mutex explicitly, wherever it is declared.
+//
+// Rules, per method of a struct with guarded fields:
+//
+//  1. A method that touches a guarded field must either acquire the
+//     guarding mutex somewhere in its body or be named *Locked
+//     (declaring that the caller holds it).
+//  2. A *Locked method must not acquire a guarding mutex it is declared
+//     to hold: a Lock/RLock on it with no lexically-preceding
+//     Unlock/RUnlock is a self-deadlock. (Unlock-then-relock around I/O
+//     is the established pattern and stays legal.)
+//
+// The check sees direct receiver accesses (recv.field) only; aliased or
+// chained access is out of scope and stays on the runtime race detector.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "enforces mutex acquisition or the *Locked suffix for guarded-field access",
+	Run:  runLockCheck,
+}
+
+var (
+	guardsBelowRe = regexp.MustCompile(`(?i)\bguards\b.*\bbelow\b`)
+	guardedByRe   = regexp.MustCompile(`(?i)\bguarded by (\w+)\b`)
+	notGuardedRe  = regexp.MustCompile(`(?i)\bnot guarded\b`)
+)
+
+// structGuards maps guarded field name -> guarding mutex field name.
+type structGuards map[string]string
+
+func runLockCheck(p *Package) []Finding {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recvType := receiverTypeName(fd)
+			g := guards[recvType]
+			if g == nil {
+				continue
+			}
+			out = append(out, checkMethod(p, fd, g)...)
+		}
+	}
+	return out
+}
+
+// collectGuards finds guarded-field declarations in the package's structs.
+func collectGuards(p *Package) map[string]structGuards {
+	all := make(map[string]structGuards)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			g := make(structGuards)
+			guardAllMutex := "" // active "guards ... below" mutex, if any
+			for _, field := range st.Fields.List {
+				text := fieldCommentText(field)
+				typeStr := typeExprString(field.Type)
+				isMutex := strings.HasSuffix(typeStr, "sync.Mutex") || strings.HasSuffix(typeStr, "sync.RWMutex")
+				if isMutex && len(field.Names) == 1 && guardsBelowRe.MatchString(text) {
+					guardAllMutex = field.Names[0].Name
+					continue
+				}
+				if m := guardedByRe.FindStringSubmatch(text); m != nil {
+					for _, name := range field.Names {
+						g[name.Name] = m[1]
+					}
+					continue
+				}
+				if guardAllMutex == "" || len(field.Names) == 0 {
+					continue
+				}
+				if isMutex || notGuardedRe.MatchString(text) ||
+					strings.Contains(typeStr, "atomic.") || strings.Contains(typeStr, "sync.WaitGroup") {
+					continue
+				}
+				for _, name := range field.Names {
+					g[name.Name] = guardAllMutex
+				}
+			}
+			if len(g) > 0 {
+				all[ts.Name.Name] = g
+			}
+			return true
+		})
+	}
+	return all
+}
+
+func fieldCommentText(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// typeExprString renders a field type well enough to recognize mutexes
+// and atomics ("sync.Mutex", "*sync.Cond", "atomic.Int64", ...).
+func typeExprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return typeExprString(v.X) + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(v.X)
+	case *ast.ArrayType:
+		return "[]" + typeExprString(v.Elt)
+	case *ast.MapType:
+		return "map[" + typeExprString(v.Key) + "]" + typeExprString(v.Value)
+	case *ast.IndexExpr:
+		return typeExprString(v.X)
+	case *ast.IndexListExpr:
+		return typeExprString(v.X)
+	}
+	return ""
+}
+
+type mutexOp struct {
+	pos     token.Pos
+	mutex   string
+	acquire bool // Lock/RLock vs Unlock/RUnlock
+}
+
+func checkMethod(p *Package, fd *ast.FuncDecl, g structGuards) []Finding {
+	recvObj := receiverObject(p, fd)
+	if recvObj == nil {
+		return nil
+	}
+	isLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	type access struct {
+		pos   token.Pos
+		field string
+		mutex string
+	}
+	var accesses []access
+	var ops []mutexOp
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// recv.mu.Lock() / recv.mu.Unlock() etc.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok && isReceiverIdent(p, inner.X, recvObj) {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						ops = append(ops, mutexOp{call.Pos(), inner.Sel.Name, true})
+						return true
+					case "Unlock", "RUnlock":
+						ops = append(ops, mutexOp{call.Pos(), inner.Sel.Name, false})
+						return true
+					}
+				}
+			}
+		}
+		// recv.field access.
+		if sel, ok := n.(*ast.SelectorExpr); ok && isReceiverIdent(p, sel.X, recvObj) {
+			if mu, guarded := g[sel.Sel.Name]; guarded {
+				accesses = append(accesses, access{sel.Pos(), sel.Sel.Name, mu})
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "lockcheck",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	if !isLocked {
+		// Rule 1: must acquire each mutex whose fields it touches.
+		reported := make(map[string]bool)
+		for _, a := range accesses {
+			if reported[a.mutex] {
+				continue
+			}
+			acquired := false
+			for _, op := range ops {
+				if op.mutex == a.mutex && op.acquire {
+					acquired = true
+					break
+				}
+			}
+			if !acquired {
+				reported[a.mutex] = true
+				report(a.pos, "%s accesses %s-guarded field %q without acquiring %s; lock it or rename the method %sLocked",
+					fd.Name.Name, a.mutex, a.field, a.mutex, fd.Name.Name)
+			}
+		}
+		return out
+	}
+
+	// Rule 2: *Locked methods hold their mutexes already; a Lock with no
+	// preceding Unlock on the same mutex would self-deadlock.
+	held := make(map[string]bool)
+	for _, a := range accesses {
+		held[a.mutex] = true
+	}
+	flagged := make(map[string]bool)
+	for mu := range held {
+		var first *mutexOp
+		for i := range ops {
+			if ops[i].mutex == mu {
+				first = &ops[i]
+				break
+			}
+		}
+		if first != nil && first.acquire && !flagged[mu] {
+			flagged[mu] = true
+			report(first.pos, "*Locked method %s acquires %s, which its name declares already held (self-deadlock); drop the Lock or the suffix",
+				fd.Name.Name, mu)
+		}
+	}
+	return out
+}
+
+// receiverObject returns the types.Object of fd's receiver variable.
+func receiverObject(p *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+func isReceiverIdent(p *Package, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.Info.Uses[id] == recv
+}

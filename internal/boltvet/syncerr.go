@@ -1,0 +1,153 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// barrierMethods are the durability barriers: an error from any of these
+// means data the engine believes durable may not be. Discarding one —
+// even explicitly with `_ =` — is a crash-consistency bug.
+var barrierMethods = map[string]bool{
+	"Sync":           true,
+	"SyncDir":        true,
+	"LogAndApply":    true,
+	"CommitPrepared": true,
+}
+
+// closeMethods return errors that matter on write paths but are
+// conventionally discarded best-effort on error/read paths. A bare call
+// statement is flagged; an explicit `_ =` discard is accepted as a
+// deliberate, reviewable choice.
+var closeMethods = map[string]bool{
+	"Close": true,
+}
+
+// SyncErr flags durability-barrier and Close calls whose error result is
+// discarded: bare expression statements, `_ =` discards of barrier
+// methods, deferred/spawned barrier calls, and barrier errors assigned to
+// a variable that is never mentioned again. Test files are exempt: they
+// run on the in-memory filesystem where durability is simulated, and
+// fixtures discard errors on purpose.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "flags discarded errors from Sync/SyncDir/Close/LogAndApply/CommitPrepared",
+	Run:  runSyncErr,
+}
+
+func runSyncErr(p *Package) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "syncerr",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, file := range p.Files {
+		if isTestFile(p, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch stmt := n.(type) {
+				case *ast.ExprStmt:
+					call, ok := stmt.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					name := calleeName(call)
+					if barrierMethods[name] && callResultHasError(p, call) {
+						report(call.Pos(), "result of %s is discarded; a dropped %s error silently breaks crash consistency", exprString(call.Fun), name)
+					} else if closeMethods[name] && callResultHasError(p, call) {
+						report(call.Pos(), "result of %s is discarded; handle the error, or mark a best-effort close explicit with `_ =`", exprString(call.Fun))
+					}
+				case *ast.DeferStmt:
+					if name := calleeName(stmt.Call); barrierMethods[name] && callResultHasError(p, stmt.Call) {
+						report(stmt.Call.Pos(), "error from deferred %s is discarded; durability barriers must be checked inline", exprString(stmt.Call.Fun))
+					}
+				case *ast.GoStmt:
+					if name := calleeName(stmt.Call); barrierMethods[name] && callResultHasError(p, stmt.Call) {
+						report(stmt.Call.Pos(), "error from %s spawned in a goroutine is discarded", exprString(stmt.Call.Fun))
+					}
+				case *ast.AssignStmt:
+					checkSyncErrAssign(p, fd, stmt, report)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkSyncErrAssign flags `_ = f.Sync()` style discards and
+// `err := f.Sync()` where err is never read afterwards.
+func checkSyncErrAssign(p *Package, fd *ast.FuncDecl, stmt *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := calleeName(call)
+	if !barrierMethods[name] {
+		return
+	}
+	errIdx := errorResultIndices(p, call)
+	if len(errIdx) == 0 {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(stmt.Lhs) {
+			continue
+		}
+		id, ok := stmt.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			report(call.Pos(), "error from %s is discarded via _; durability barrier errors must be handled", exprString(call.Fun))
+			continue
+		}
+		// err := f.Sync() with err never mentioned again anywhere in the
+		// function: a shadow/dead assignment that silently drops the
+		// barrier error.
+		if stmt.Tok != token.DEFINE {
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || usedElsewhere(p, fd, id, obj) {
+			continue
+		}
+		report(id.Pos(), "error from %s is assigned to %q but never used (shadowed/dead barrier error)", exprString(call.Fun), id.Name)
+	}
+}
+
+// usedElsewhere reports whether obj is referenced anywhere in fd other
+// than at the defining ident.
+func usedElsewhere(p *Package, fd *ast.FuncDecl, def *ast.Ident, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def {
+			return true
+		}
+		if p.Info.Uses[id] == obj || p.Info.Defs[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,59 @@
+// Package barrierorder is a boltvet fixture for the two-barrier contract.
+package barrierorder
+
+type meta struct{}
+
+type edit struct{}
+
+func (e *edit) AddFile(level int, m *meta) {}
+
+type applier struct{}
+
+func (a *applier) LogAndApply(e *edit) error    { return nil }
+func (a *applier) CommitPrepared(e *edit) error { return nil }
+
+type file struct{}
+
+func (f file) Sync() error { return nil }
+
+func commitWithoutSync(a *applier) error {
+	e := &edit{}
+	e.AddFile(0, &meta{})
+	return a.LogAndApply(e) // want `a\.LogAndApply commits a version edit that adds files, but no data-file sync`
+}
+
+func prepareCommitWithoutSync(a *applier) error {
+	e := &edit{}
+	e.AddFile(0, &meta{})
+	return a.CommitPrepared(e) // want `a\.CommitPrepared commits a version edit that adds files`
+}
+
+func commitAfterSync(a *applier, f file) error {
+	e := &edit{}
+	e.AddFile(0, &meta{})
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return a.LogAndApply(e)
+}
+
+// commitWithoutAdd applies an edit that validates no new files (log-number
+// advance only); no data barrier is required.
+func commitWithoutAdd(a *applier) error {
+	return a.LogAndApply(&edit{})
+}
+
+// VersionSet methods are the barrier implementation, not its users.
+type VersionSet struct{ a applier }
+
+func (vs *VersionSet) snapshot(e *edit) error {
+	e.AddFile(0, &meta{})
+	return vs.a.LogAndApply(e)
+}
+
+func suppressedCommit(a *applier) error {
+	e := &edit{}
+	e.AddFile(0, &meta{})
+	//boltvet:ignore barrierorder -- fixture: files already durable
+	return a.LogAndApply(e)
+}

@@ -1,0 +1,71 @@
+// Package lockcheck is a boltvet fixture for the *Locked convention.
+package lockcheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type store struct {
+	cap int // before the mutex: not guarded
+
+	// mu guards the fields below.
+	mu    sync.Mutex
+	count int
+	name  string
+
+	gets atomic.Int64 // atomic: exempt from guarding
+
+	// statsMu serializes stats writers; declared after mu's region but
+	// guarding its own field.
+	statsMu sync.Mutex
+	stats   int // guarded by statsMu
+}
+
+func (s *store) Good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+func (s *store) Bad() {
+	s.count++ // want `Bad accesses mu-guarded field "count" without acquiring mu`
+}
+
+func (s *store) Unguarded() int {
+	s.gets.Add(1)
+	return s.cap // ok: declared before the mutex
+}
+
+func (s *store) incLocked() {
+	s.count++ // ok: the suffix declares the caller holds mu
+}
+
+func (s *store) selfDeadlockLocked() {
+	s.mu.Lock() // want `\*Locked method selfDeadlockLocked acquires mu`
+	s.count++
+	s.mu.Unlock()
+}
+
+func (s *store) dropAndRelockLocked() {
+	s.count++
+	s.mu.Unlock()
+	defer s.mu.Lock() // ok: unlock-then-relock around I/O is the house pattern
+	s.name = "io"
+}
+
+func (s *store) statsBad() int {
+	return s.stats // want `statsBad accesses statsMu-guarded field "stats" without acquiring statsMu`
+}
+
+func (s *store) statsGood() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.stats++
+}
+
+//boltvet:ignore lockcheck -- fixture: init-time access before concurrency
+func (s *store) initTime() {
+	s.count = 0
+	s.name = "fresh"
+}

@@ -1,0 +1,65 @@
+// Package syncerr is a boltvet fixture. Expectations are `// want`
+// comments holding a regexp that must match a finding on that line.
+//
+// Note: deadAssign intentionally declares an unused variable, so this
+// package does not compile; the analyzer loader tolerates soft type
+// errors, and fixture packages under testdata are never built.
+package syncerr
+
+type file struct{}
+
+func (file) Sync() error    { return nil }
+func (file) SyncDir() error { return nil }
+func (file) Close() error   { return nil }
+
+// closer returns no error: bare calls to it must NOT be flagged.
+type closer struct{}
+
+func (closer) Close() {}
+
+type vset struct{}
+
+func (vset) LogAndApply(edit int) error    { return nil }
+func (vset) CommitPrepared(edit int) error { return nil }
+
+func bareCalls(f file, c closer, vs vset) {
+	f.Sync()             // want `result of f\.Sync is discarded`
+	f.SyncDir()          // want `result of f\.SyncDir is discarded`
+	f.Close()            // want `result of f\.Close is discarded`
+	vs.LogAndApply(1)    // want `result of vs\.LogAndApply is discarded`
+	vs.CommitPrepared(1) // want `result of vs\.CommitPrepared is discarded`
+	c.Close()            // ok: returns no error
+}
+
+func explicitDiscard(f file, vs vset) {
+	_ = f.Sync()          // want `error from f\.Sync is discarded via _`
+	_ = vs.LogAndApply(1) // want `error from vs\.LogAndApply is discarded via _`
+	_ = f.Close()         // ok: a deliberate, visible best-effort close
+}
+
+func deferred(f file) error {
+	defer f.Sync()  // want `error from deferred f\.Sync is discarded`
+	defer f.Close() // ok: deferred close on read paths is idiomatic
+	return nil
+}
+
+func spawned(f file) {
+	go f.Sync() // want `error from f\.Sync spawned in a goroutine is discarded`
+}
+
+func deadAssign(f file) error {
+	err := f.Sync() // want `error from f\.Sync is assigned to "err" but never used`
+	return nil
+}
+
+func handled(f file, vs vset) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	err := vs.LogAndApply(1)
+	return err
+}
+
+func suppressed(f file) {
+	_ = f.Sync() //boltvet:ignore syncerr -- fixture demonstrates suppression
+}

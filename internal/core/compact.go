@@ -30,7 +30,7 @@ func (db *DB) CompactRange(start, limit []byte) error {
 		}
 	}
 	for db.imm != nil && db.bgErr == nil && !db.closed {
-		db.maybeScheduleWork()
+		db.maybeScheduleWorkLocked()
 		db.cond.Wait()
 	}
 
@@ -39,8 +39,11 @@ func (db *DB) CompactRange(start, limit []byte) error {
 	// the same tables.
 	db.manualActive = true
 	defer func() {
+		// The cleanup must run under mu, so mu is released here rather
+		// than at the return sites.
 		db.manualActive = false
-		db.maybeScheduleWork()
+		db.maybeScheduleWorkLocked()
+		db.mu.Unlock()
 	}()
 
 	for level := 0; level < manifest.NumLevels-1; level++ {
@@ -77,9 +80,7 @@ func (db *DB) CompactRange(start, limit []byte) error {
 			}
 		}
 	}
-	err := db.bgErr
-	db.mu.Unlock()
-	return err
+	return db.bgErr
 }
 
 // forceMemtableSwitchLocked rotates the memtable regardless of its size so
@@ -106,13 +107,13 @@ func (db *DB) forceMemtableSwitchLocked() error {
 	db.imm = db.mem
 	db.mem = memtable.New()
 	db.met.MemtableSwitch.Add(1)
-	db.maybeScheduleWork()
+	db.maybeScheduleWorkLocked()
 	return nil
 }
 
-// maybeScheduleWork spawns background workers as needed. Called with mu
+// maybeScheduleWorkLocked spawns background workers as needed. Called with mu
 // held whenever flushable or compactable state appears.
-func (db *DB) maybeScheduleWork() {
+func (db *DB) maybeScheduleWorkLocked() {
 	if db.closed || db.bgErr != nil || db.manualActive {
 		return
 	}
@@ -272,7 +273,7 @@ func (db *DB) flushLocked() {
 	}
 	db.mu.Lock()
 	db.verifyInvariantsLocked()
-	db.maybeScheduleWork()
+	db.maybeScheduleWorkLocked()
 }
 
 // compactLocked executes one compaction. Called with mu held; releases it
@@ -343,7 +344,7 @@ func (db *DB) compactLocked(c *compaction.Compaction) {
 	db.zombies = append(db.zombies, c.NextInputs...)
 	db.reclaimZombiesLocked()
 	db.verifyInvariantsLocked()
-	db.maybeScheduleWork()
+	db.maybeScheduleWorkLocked()
 }
 
 // writeCompactionTables merges the compaction inputs into output tables,

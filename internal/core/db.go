@@ -28,10 +28,16 @@ var ErrClosed = errors.New("core: database closed")
 
 // DB is one LSM-tree instance.
 type DB struct {
+	// Immutable after Open (set before any background goroutine starts):
 	cfg Config
 	fs  vfs.FS // counting-wrapped
 	io  *IOCounters
 	met *metrics.Metrics
+
+	blockCache *cache.BlockCache
+	fdCache    *cache.FDCache
+	tableCache *cache.TableCache
+	picker     *compaction.Picker
 
 	// mu guards all mutable state below except where noted.
 	mu   sync.Mutex
@@ -66,11 +72,6 @@ type DB struct {
 	obsoleteLogs []uint64
 	zombies      []*manifest.FileMeta
 	physRefs     map[uint64]int
-
-	blockCache *cache.BlockCache
-	fdCache    *cache.FDCache
-	tableCache *cache.TableCache
-	picker     *compaction.Picker
 }
 
 // Open opens (creating if necessary) a database on fs.
@@ -88,7 +89,7 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		physRefs:  make(map[uint64]int),
 	}
 	db.cond = sync.NewCond(&db.mu)
-	db.fs = newCountingFS(fs, db.io)
+	db.fs = newCountingFS(wrapInvariantFS(fs), db.io)
 
 	db.blockCache = cache.NewBlockCache(cfg.BlockCacheBytes)
 	if cfg.FDCache {
@@ -116,7 +117,7 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 	}
 
 	db.mu.Lock()
-	db.maybeScheduleWork()
+	db.maybeScheduleWorkLocked()
 	db.mu.Unlock()
 	return db, nil
 }
@@ -130,6 +131,8 @@ func (db *DB) sstConfig() sstable.Config {
 }
 
 // recover loads or creates the on-disk state.
+//
+//boltvet:ignore lockcheck -- open-time initialization; no background goroutine exists until Open returns
 func (db *DB) recover() error {
 	names, err := db.fs.List()
 	if err != nil {
@@ -229,6 +232,8 @@ func (db *DB) recover() error {
 }
 
 // removeOrphans deletes files not referenced by the recovered state.
+//
+//boltvet:ignore lockcheck -- called only from recover, before concurrency starts
 func (db *DB) removeOrphans() {
 	names, err := db.fs.List()
 	if err != nil {
@@ -489,7 +494,7 @@ func (db *DB) maybeChargeSeek(f *manifest.FileMeta, level int, consulted int) {
 		if db.seekCompactFile == nil && !db.closed {
 			db.seekCompactFile = f
 			db.seekCompactLevel = level
-			db.maybeScheduleWork()
+			db.maybeScheduleWorkLocked()
 		}
 		db.mu.Unlock()
 	}

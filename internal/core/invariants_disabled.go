@@ -1,0 +1,10 @@
+//go:build !boltinvariants
+
+package core
+
+import "github.com/bolt-lsm/bolt/internal/vfs"
+
+// InvariantsEnabled reports whether the boltinvariants build tag is set.
+const InvariantsEnabled = false
+
+func wrapInvariantFS(fs vfs.FS) vfs.FS { return fs }

@@ -1,0 +1,14 @@
+//go:build boltinvariants
+
+package core
+
+import "github.com/bolt-lsm/bolt/internal/vfs"
+
+// InvariantsEnabled reports whether the boltinvariants build tag is set.
+const InvariantsEnabled = true
+
+// wrapInvariantFS interposes the sync tracker so every database opened in
+// this build enforces the two-barrier ordering at runtime.
+func wrapInvariantFS(fs vfs.FS) vfs.FS {
+	return vfs.NewSyncTrackerFS(fs, barrierChecker{})
+}

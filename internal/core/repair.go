@@ -56,6 +56,7 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 	}
 	var tables []salvaged
 	var maxPhys uint64
+	var salvagedFiles []string
 
 	for _, name := range names {
 		kind, num, ok := manifest.ParseFileName(name)
@@ -80,12 +81,33 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 			return nil, err
 		}
 		report.TablesLost += lost
+		if len(salv) > 0 {
+			salvagedFiles = append(salvagedFiles, name)
+		}
 		for _, s := range salv {
 			tables = append(tables, salvaged{meta: s.meta, maxSeq: s.maxSeq})
 			report.Entries += int(s.entries)
 			if s.maxSeq > report.MaxSeq {
 				report.MaxSeq = s.maxSeq
 			}
+		}
+	}
+
+	// First barrier before the second: the salvaged bytes were readable,
+	// but after a crash readable does not mean durable (they may exist in
+	// the page cache only). Sync every physical file the repaired MANIFEST
+	// is about to validate before LogAndApply pays the MANIFEST barrier.
+	for _, name := range salvagedFiles {
+		f, err := fs.Open(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: repair reopen %q: %w", name, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("core: repair sync %q: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("core: repair close %q: %w", name, err)
 		}
 	}
 	report.TablesRecovered = len(tables)

@@ -65,7 +65,7 @@ func (db *DB) Write(b *batch.Batch) error {
 	var group *batch.Batch
 	var members []*dbWriter
 	if err == nil {
-		group, members = db.buildGroup()
+		group, members = db.buildGroupLocked()
 		db.met.GroupCommits.Add(1)
 		startSeq := db.VisibleSeq() + 1
 		group.SetSeq(startSeq)
@@ -122,10 +122,10 @@ func (db *DB) Write(b *batch.Batch) error {
 	return err
 }
 
-// buildGroup absorbs queued writers (up to the byte cap) into one batch.
+// buildGroupLocked absorbs queued writers (up to the byte cap) into one batch.
 // Called with mu held; returns the combined batch and its members in queue
 // order (leader first).
-func (db *DB) buildGroup() (*batch.Batch, []*dbWriter) {
+func (db *DB) buildGroupLocked() (*batch.Batch, []*dbWriter) {
 	leader := db.writers[0]
 	members := []*dbWriter{leader}
 	group := leader.b
@@ -255,7 +255,7 @@ func (db *DB) makeRoomForWrite() error {
 			db.imm = db.mem
 			db.mem = memtable.New()
 			db.met.MemtableSwitch.Add(1)
-			db.maybeScheduleWork()
+			db.maybeScheduleWorkLocked()
 		}
 	}
 }

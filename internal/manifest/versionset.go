@@ -315,19 +315,21 @@ func (vs *VersionSet) writeNewManifest(rec []byte) error {
 	}
 	lw := logrec.NewWriter(f)
 	if err := lw.WriteRecord(rec); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("manifest: write snapshot: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("manifest: sync %q: %w", name, err)
 	}
 	if err := setCurrent(vs.fs, name); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if vs.manifestFile != nil {
-		vs.manifestFile.Close()
+		// Best effort: the superseded MANIFEST handle holds no unsynced
+		// state (every commit synced before returning).
+		_ = vs.manifestFile.Close()
 	}
 	vs.manifestFile = f
 	vs.manifestLog = lw
