@@ -41,6 +41,12 @@ import (
 // ErrNotFound is returned by Get for absent keys.
 var ErrNotFound = errors.New("bolt: not found")
 
+// ErrReadOnlyMode is matched by errors.Is against write errors once the
+// engine has degraded to read-only after an unrecoverable background
+// failure. Reads keep serving the last committed state; the returned error
+// also wraps the background failure that caused the degradation.
+var ErrReadOnlyMode = core.ErrReadOnlyMode
+
 // Profile selects which of the paper's systems the engine behaves as.
 type Profile int
 
@@ -588,8 +594,10 @@ func (db *DB) SimStats() (SimStats, bool) {
 	}, true
 }
 
-// WaitIdle blocks until background flushes and compactions drain.
-func (db *DB) WaitIdle() { db.inner.WaitIdle() }
+// WaitIdle blocks until background flushes and compactions drain, and
+// surfaces any background failure pending at that point: a fatal engine
+// error, or the read-only degradation (matched by ErrReadOnlyMode).
+func (db *DB) WaitIdle() error { return db.inner.WaitIdle() }
 
 // CompactRange synchronously flushes the memtable and compacts every table
 // overlapping the user-key range [start, limit] (nil = unbounded) down the

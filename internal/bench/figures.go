@@ -104,7 +104,10 @@ func Fig6(p Params) error {
 		// Separate the population's compaction debt from the read
 		// measurement (the paper submits its 1M point queries against a
 		// settled database).
-		db.WaitIdle()
+		if err := db.WaitIdle(); err != nil {
+			_ = db.Close()
+			return err
+		}
 		before := db.Stats()
 		res, err := ycsb.Run(kv, ycsb.RunConfig{
 			Workload: ycsb.WorkloadC, Distribution: ycsb.Uniform,

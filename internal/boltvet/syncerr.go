@@ -15,6 +15,9 @@ var barrierMethods = map[string]bool{
 	"SyncDir":        true,
 	"LogAndApply":    true,
 	"CommitPrepared": true,
+	// WriteFile syncs both the file and its directory entry (it backs the
+	// CURRENT pointer switch); dropping its error loses the barrier.
+	"WriteFile": true,
 }
 
 // closeMethods return errors that matter on write paths but are
@@ -33,7 +36,7 @@ var closeMethods = map[string]bool{
 // fixtures discard errors on purpose.
 var SyncErr = &Analyzer{
 	Name: "syncerr",
-	Doc:  "flags discarded errors from Sync/SyncDir/Close/LogAndApply/CommitPrepared",
+	Doc:  "flags discarded errors from Sync/SyncDir/Close/LogAndApply/CommitPrepared/WriteFile",
 	Run:  runSyncErr,
 }
 

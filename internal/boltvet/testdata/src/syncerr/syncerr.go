@@ -22,13 +22,18 @@ type vset struct{}
 func (vset) LogAndApply(edit int) error    { return nil }
 func (vset) CommitPrepared(edit int) error { return nil }
 
+// WriteFile mimics vfs.WriteFile (write + sync + dir sync): a barrier.
+func WriteFile(name string, data []byte) error { return nil }
+
 func bareCalls(f file, c closer, vs vset) {
-	f.Sync()             // want `result of f\.Sync is discarded`
-	f.SyncDir()          // want `result of f\.SyncDir is discarded`
-	f.Close()            // want `result of f\.Close is discarded`
-	vs.LogAndApply(1)    // want `result of vs\.LogAndApply is discarded`
-	vs.CommitPrepared(1) // want `result of vs\.CommitPrepared is discarded`
-	c.Close()            // ok: returns no error
+	f.Sync()                  // want `result of f\.Sync is discarded`
+	f.SyncDir()               // want `result of f\.SyncDir is discarded`
+	f.Close()                 // want `result of f\.Close is discarded`
+	vs.LogAndApply(1)         // want `result of vs\.LogAndApply is discarded`
+	vs.CommitPrepared(1)      // want `result of vs\.CommitPrepared is discarded`
+	WriteFile("CURRENT", nil) // want `result of WriteFile is discarded`
+	_ = WriteFile("x", nil)   // want `error from WriteFile is discarded via _`
+	c.Close()                 // ok: returns no error
 }
 
 func explicitDiscard(f file, vs vset) {

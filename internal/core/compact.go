@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/bolt-lsm/bolt/internal/compaction"
@@ -9,6 +10,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/memtable"
 	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
 	"github.com/bolt-lsm/bolt/internal/wal"
 )
 
@@ -23,13 +25,17 @@ func (db *DB) CompactRange(start, limit []byte) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if err := db.pendingErrLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	if !db.mem.Empty() {
 		if err := db.forceMemtableSwitchLocked(); err != nil {
 			db.mu.Unlock()
 			return err
 		}
 	}
-	for db.imm != nil && db.bgErr == nil && !db.closed {
+	for db.imm != nil && !db.bgStoppedLocked() {
 		db.maybeScheduleWorkLocked()
 		db.cond.Wait()
 	}
@@ -46,14 +52,15 @@ func (db *DB) CompactRange(start, limit []byte) error {
 		db.mu.Unlock()
 	}()
 
-	for level := 0; level < manifest.NumLevels-1; level++ {
-		for db.bgErr == nil && !db.closed {
+	var manualErr error
+	for level := 0; level < manifest.NumLevels-1 && manualErr == nil; level++ {
+		for !db.bgStoppedLocked() {
 			// Wait for background work to quiesce so manual compactions
 			// do not race the picker over the same inputs.
-			for (db.flushActive || db.compactActive) && db.bgErr == nil && !db.closed {
+			for (db.flushActive || db.compactActive) && !db.bgStoppedLocked() {
 				db.cond.Wait()
 			}
-			if db.bgErr != nil || db.closed {
+			if db.bgStoppedLocked() {
 				break
 			}
 			v := db.vs.Current()
@@ -73,27 +80,38 @@ func (db *DB) CompactRange(start, limit []byte) error {
 			}
 			smallest, largest := c.Range()
 			c.NextInputs = v.Overlaps(level+1, smallest, largest)
-			db.compactLocked(c)
+			if err := db.compactLocked(c); err != nil {
+				// Manual compactions surface failures to the caller
+				// instead of retrying; the tree is unchanged.
+				manualErr = fmt.Errorf("core: manual compaction: %w", err)
+				break
+			}
 			db.cond.Broadcast()
 			if level > 0 {
 				break // one pass per sorted level is exhaustive
 			}
 		}
 	}
-	return db.bgErr
+	if manualErr != nil {
+		return manualErr
+	}
+	// A close mid-compaction is a deliberate shutdown, not a compaction
+	// failure; a background error or degradation observed while waiting
+	// must reach the caller.
+	return db.pendingErrLocked()
 }
 
 // forceMemtableSwitchLocked rotates the memtable regardless of its size so
 // a flush of current contents can be awaited.
 func (db *DB) forceMemtableSwitchLocked() error {
-	for db.imm != nil && db.bgErr == nil && !db.closed {
+	for db.imm != nil && !db.bgStoppedLocked() {
 		db.cond.Wait()
-	}
-	if db.bgErr != nil {
-		return db.bgErr
 	}
 	if db.closed {
 		return ErrClosed
+	}
+	if err := db.pendingErrLocked(); err != nil {
+		return err
 	}
 	newLogNum := db.vs.NextFileNum()
 	newWal, err := wal.NewWriter(db.fs, manifest.LogFileName(newLogNum))
@@ -114,7 +132,7 @@ func (db *DB) forceMemtableSwitchLocked() error {
 // maybeScheduleWorkLocked spawns background workers as needed. Called with mu
 // held whenever flushable or compactable state appears.
 func (db *DB) maybeScheduleWorkLocked() {
-	if db.closed || db.bgErr != nil || db.manualActive {
+	if db.bgStoppedLocked() || db.manualActive {
 		return
 	}
 	if db.cfg.SeparateFlushThread {
@@ -141,11 +159,20 @@ func (db *DB) needsCompactionLocked() bool {
 }
 
 // flushLoop is the dedicated flush worker (SeparateFlushThread profiles).
+// Failed flushes are retried with backoff (the immutable memtable and its
+// WAL stay in place, so no acknowledged write is at risk); an exhausted
+// retry budget degrades the engine to read-only.
 func (db *DB) flushLoop() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for !db.closed && db.bgErr == nil && db.imm != nil {
-		db.flushLocked()
+	for !db.bgStoppedLocked() && db.imm != nil {
+		if err := db.flushLocked(); err != nil {
+			if db.retryOrDegradeLocked(&db.flushFails, err) {
+				continue
+			}
+			break
+		}
+		db.recoverFaultLocked(&db.flushFails)
 		db.cond.Broadcast()
 	}
 	db.flushActive = false
@@ -153,13 +180,21 @@ func (db *DB) flushLoop() {
 }
 
 // compactLoop is the main background worker. With handleFlush it also
-// drains memtable flushes (single-background-thread profiles).
+// drains memtable flushes (single-background-thread profiles). Failures
+// follow the same retry-then-degrade policy as flushLoop; a failed
+// compaction leaves the tree unchanged, so the retry simply re-picks.
 func (db *DB) compactLoop(handleFlush bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for !db.closed && db.bgErr == nil {
+	for !db.bgStoppedLocked() {
 		if handleFlush && db.imm != nil {
-			db.flushLocked()
+			if err := db.flushLocked(); err != nil {
+				if db.retryOrDegradeLocked(&db.flushFails, err) {
+					continue
+				}
+				break
+			}
+			db.recoverFaultLocked(&db.flushFails)
 			db.cond.Broadcast()
 			continue
 		}
@@ -167,7 +202,13 @@ func (db *DB) compactLoop(handleFlush bool) {
 		if c == nil {
 			break
 		}
-		db.compactLocked(c)
+		if err := db.compactLocked(c); err != nil {
+			if db.retryOrDegradeLocked(&db.compactFails, err) {
+				continue
+			}
+			break
+		}
+		db.recoverFaultLocked(&db.compactFails)
 		db.cond.Broadcast()
 	}
 	db.compactActive = false
@@ -236,8 +277,12 @@ func l0OverlapClosure(files []*manifest.FileMeta, seed *manifest.FileMeta) []*ma
 }
 
 // flushLocked converts the immutable memtable into level-0 tables. Called
-// with mu held; releases it during I/O.
-func (db *DB) flushLocked() {
+// with mu held; releases it during I/O. On failure the immutable memtable
+// and its WAL are left in place so the caller can retry; partially written
+// output files become orphans for the next recovery to collect (they are
+// never deleted here — an apparently failed sync may still have reached
+// the platter, and the MANIFEST of a failed commit may reference them).
+func (db *DB) flushLocked() error {
 	imm := db.imm
 	logNum := db.walNum // stable: imm != nil blocks further switches
 	db.met.MemtableFlushes.Add(1)
@@ -246,8 +291,7 @@ func (db *DB) flushLocked() {
 	metas, err := db.writeTables(imm.NewIter(), 0)
 	db.mu.Lock()
 	if err != nil {
-		db.bgErr = fmt.Errorf("core: flush: %w", err)
-		return
+		return fmt.Errorf("core: flush: %w", err)
 	}
 
 	edit := &manifest.VersionEdit{}
@@ -256,8 +300,7 @@ func (db *DB) flushLocked() {
 		edit.AddFile(0, m)
 	}
 	if err := db.logAndApplyLocked(edit); err != nil {
-		db.bgErr = fmt.Errorf("core: flush commit: %w", err)
-		return
+		return fmt.Errorf("core: flush commit: %w", err)
 	}
 	for _, m := range metas {
 		db.physRefs[m.PhysNum]++
@@ -274,11 +317,14 @@ func (db *DB) flushLocked() {
 	db.mu.Lock()
 	db.verifyInvariantsLocked()
 	db.maybeScheduleWorkLocked()
+	return nil
 }
 
 // compactLocked executes one compaction. Called with mu held; releases it
-// during I/O.
-func (db *DB) compactLocked(c *compaction.Compaction) {
+// during I/O. On failure the tree is unchanged and the error is returned
+// for the caller's retry/degrade policy; output files written before the
+// failure are left as orphans (see flushLocked).
+func (db *DB) compactLocked(c *compaction.Compaction) error {
 	db.met.Compactions.Add(1)
 	v := db.vs.Current()
 	v.Ref() // pin input tables for the duration
@@ -296,8 +342,7 @@ func (db *DB) compactLocked(c *compaction.Compaction) {
 	}
 	v.Unref()
 	if err != nil {
-		db.bgErr = fmt.Errorf("core: compaction: %w", err)
-		return
+		return fmt.Errorf("core: compaction: %w", err)
 	}
 
 	edit := &manifest.VersionEdit{}
@@ -324,8 +369,7 @@ func (db *DB) compactLocked(c *compaction.Compaction) {
 	}
 
 	if err := db.logAndApplyLocked(edit); err != nil {
-		db.bgErr = fmt.Errorf("core: compaction commit: %w", err)
-		return
+		return fmt.Errorf("core: compaction commit: %w", err)
 	}
 
 	for _, m := range metas {
@@ -345,6 +389,7 @@ func (db *DB) compactLocked(c *compaction.Compaction) {
 	db.reclaimZombiesLocked()
 	db.verifyInvariantsLocked()
 	db.maybeScheduleWorkLocked()
+	return nil
 }
 
 // writeCompactionTables merges the compaction inputs into output tables,
@@ -476,6 +521,12 @@ func (db *DB) logAndApplyLocked(edit *manifest.VersionEdit) error {
 	db.mu.Lock()
 	if err == nil {
 		db.vs.Install(p)
+	} else {
+		// A failed commit may have left a torn or unsynced tail in the
+		// current MANIFEST; appending after it on a retry could make a
+		// half-written record durable. Force the next commit to rotate to
+		// a fresh MANIFEST instead.
+		db.vs.ForceRotate()
 	}
 	db.manifestMu.Unlock()
 	return err
@@ -511,6 +562,7 @@ func (db *DB) reclaimZombiesLocked() {
 			if db.fdCache != nil {
 				db.fdCache.Evict(z.PhysNum)
 			}
+			delete(db.deadRanges, z.PhysNum)
 			removals = append(removals, z.PhysNum)
 		} else if db.cfg.compactionFileMode() {
 			punches = append(punches, punch{z.PhysNum, z.Offset, z.Size})
@@ -525,15 +577,34 @@ func (db *DB) reclaimZombiesLocked() {
 	for _, num := range removals {
 		_ = db.fs.Remove(manifest.TableFileName(num))
 	}
+	var fallbacks []punch
 	for _, p := range punches {
-		// Punching is barrier-free and best-effort: on a read-only OS
-		// handle it degrades to a no-op; the Mem backend reclaims exactly.
+		// Punching is barrier-free and best-effort. A backend that cannot
+		// punch (vfs.ErrPunchHoleUnsupported) or holds the file read-only
+		// still guarantees the range reads back correctly, so the engine
+		// stays correct — the range is just recorded as dead-but-allocated
+		// space debt. Any other failure is ignored: a missed punch only
+		// costs disk space, never correctness.
 		if f, err := db.fs.Open(manifest.TableFileName(p.phys)); err == nil {
-			_ = f.PunchHole(p.off, p.size)
+			perr := f.PunchHole(p.off, p.size)
 			_ = f.Close()
+			switch {
+			case perr == nil:
+				db.met.HolePunches.Add(1)
+			case errors.Is(perr, vfs.ErrPunchHoleUnsupported) || errors.Is(perr, vfs.ErrReadOnly):
+				fallbacks = append(fallbacks, p)
+			}
 		}
 	}
 	db.mu.Lock()
+	for _, p := range fallbacks {
+		// Re-check liveness: the file may have been removed while mu was
+		// released, in which case its dead ranges vanished with it.
+		if _, live := db.physRefs[p.phys]; live {
+			db.deadRanges[p.phys] = append(db.deadRanges[p.phys], deadRange{p.off, p.size})
+			db.met.HolePunchFallbacks.Add(1)
+		}
+	}
 }
 
 // verifyInvariantsLocked re-checks the version layout when the test hook

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Config parameterizes the engine. ApplyDefaults fills zero fields.
@@ -94,6 +95,19 @@ type Config struct {
 	// default) runs with asynchronous WAL writes.
 	SyncWAL bool
 
+	// --- Robustness ---
+
+	// BgRetryLimit is how many times a failed flush or compaction is
+	// retried (with capped exponential backoff) when its error classifies
+	// as transient, before the engine degrades to read-only mode. Zero
+	// selects the default (5); negative disables retries entirely.
+	BgRetryLimit int
+	// BgRetryBaseDelay is the first retry's backoff delay (default 2ms);
+	// each subsequent retry doubles it.
+	BgRetryBaseDelay time.Duration
+	// BgRetryMaxDelay caps the exponential backoff (default 250ms).
+	BgRetryMaxDelay time.Duration
+
 	// --- Testing hooks ---
 
 	// VerifyInvariants re-checks version invariants after every flush and
@@ -136,6 +150,18 @@ func (c *Config) ApplyDefaults() {
 	if c.BlockCacheBytes <= 0 {
 		c.BlockCacheBytes = 8 << 20
 	}
+	switch {
+	case c.BgRetryLimit == 0:
+		c.BgRetryLimit = 5
+	case c.BgRetryLimit < 0:
+		c.BgRetryLimit = 0
+	}
+	if c.BgRetryBaseDelay <= 0 {
+		c.BgRetryBaseDelay = 2 * time.Millisecond
+	}
+	if c.BgRetryMaxDelay <= 0 {
+		c.BgRetryMaxDelay = 250 * time.Millisecond
+	}
 }
 
 // Validate rejects inconsistent configurations.
@@ -152,6 +178,10 @@ func (c *Config) Validate() error {
 	}
 	if c.SettledCompaction && c.LogicalSSTableBytes == 0 {
 		return errors.New("core: settled compaction requires logical SSTables")
+	}
+	if c.BgRetryMaxDelay < c.BgRetryBaseDelay {
+		return fmt.Errorf("core: retry delay cap %v below base %v",
+			c.BgRetryMaxDelay, c.BgRetryBaseDelay)
 	}
 	return nil
 }

@@ -66,6 +66,21 @@ type DB struct {
 	bgErr         error
 	closed        bool
 
+	// readOnly marks the degraded mode entered when background work
+	// exhausts its retry budget or hits a permanent fault (see bgerror.go):
+	// reads keep serving the last committed state, writes and manual
+	// compactions fail with a ReadOnlyError wrapping roCause.
+	readOnly bool
+	roCause  error
+	// flushFails / compactFails count consecutive failed background
+	// attempts, driving the retry backoff; reset on the next success.
+	flushFails   int
+	compactFails int
+
+	// deadRanges records, per physical file, byte ranges whose hole punch
+	// the backend could not perform: logically dead but not reclaimed.
+	deadRanges map[uint64][]deadRange
+
 	seekCompactFile  *manifest.FileMeta
 	seekCompactLevel int
 
@@ -81,12 +96,13 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		cfg:       cfg,
-		io:        &IOCounters{},
-		met:       &metrics.Metrics{},
-		mem:       memtable.New(),
-		snapshots: list.New(),
-		physRefs:  make(map[uint64]int),
+		cfg:        cfg,
+		io:         &IOCounters{},
+		met:        &metrics.Metrics{},
+		mem:        memtable.New(),
+		snapshots:  list.New(),
+		physRefs:   make(map[uint64]int),
+		deadRanges: make(map[uint64][]deadRange),
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.fs = newCountingFS(wrapInvariantFS(fs), db.io)
@@ -545,15 +561,20 @@ func (db *DB) Close() error {
 }
 
 // WaitIdle blocks until all background work (pending flushes and
-// compactions) has drained. Benchmarks use it to separate load-phase
+// compactions) has drained, and reports the pending background error, if
+// any — a wait cut short by a fatal error or a read-only degradation must
+// not look like a clean drain. Benchmarks use it to separate load-phase
 // compaction debt from read-phase measurements.
-func (db *DB) WaitIdle() {
+func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for (db.flushActive || db.compactActive || db.imm != nil) &&
-		db.bgErr == nil && !db.closed {
+	for (db.flushActive || db.compactActive || db.imm != nil) && !db.bgStoppedLocked() {
 		db.cond.Wait()
 	}
+	if db.closed {
+		return ErrClosed
+	}
+	return db.pendingErrLocked()
 }
 
 // NumLevelFiles returns the table count per level (diagnostics).

@@ -43,6 +43,10 @@ func (db *DB) Write(b *batch.Batch) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
+	if err := db.pendingErrLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	db.writers = append(db.writers, w)
 	for {
 		if w.doInsert {
@@ -208,8 +212,8 @@ func (db *DB) makeRoomForWrite() error {
 	slowdownDone := false
 	for {
 		switch {
-		case db.bgErr != nil:
-			return db.bgErr
+		case db.bgErr != nil || db.readOnly:
+			return db.pendingErrLocked()
 		case db.closed:
 			return ErrClosed
 

@@ -32,6 +32,11 @@ type VersionSet struct {
 	manifestFile vfs.File
 	manifestLog  *logrec.Writer
 	manifestSize int64
+	// forceRotate makes the next Prepare rotate regardless of size: after
+	// a failed CommitPrepared the MANIFEST tail may hold a torn or
+	// unsynced record, and a later successful sync of the same file would
+	// make the failed record durable too.
+	forceRotate bool
 
 	compactPointers [NumLevels]keys.InternalKey
 }
@@ -218,9 +223,10 @@ func (vs *VersionSet) Prepare(edit *VersionEdit) *PreparedEdit {
 	p := &PreparedEdit{
 		version: builder.finish(vs),
 		record:  edit.Encode(),
-		rotate:  vs.manifestSize >= maxManifestSize,
+		rotate:  vs.manifestSize >= maxManifestSize || vs.forceRotate,
 	}
 	if p.rotate {
+		vs.forceRotate = false
 		// Allocate the new MANIFEST number and prebuild the snapshot
 		// record here, while the caller holds the engine mutex;
 		// CommitPrepared runs without it and must not touch allocator
@@ -261,6 +267,14 @@ func (vs *VersionSet) CommitPrepared(p *PreparedEdit) error {
 // Install makes the committed version current. Call with the engine mutex
 // held.
 func (vs *VersionSet) Install(p *PreparedEdit) { vs.installVersion(p.version) }
+
+// ForceRotate makes the next prepared edit write a fresh MANIFEST (with a
+// full snapshot) instead of appending. The engine calls it after a failed
+// CommitPrepared: re-appending a retried edit behind a possibly-torn tail
+// could make both the failed and the retried record durable, and replay
+// would then see a duplicate or corrupt edit. Call with the engine mutex
+// held.
+func (vs *VersionSet) ForceRotate() { vs.forceRotate = true }
 
 // LogAndApply is the single-threaded convenience combining Prepare,
 // CommitPrepared, and Install.

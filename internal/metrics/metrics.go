@@ -40,6 +40,12 @@ type Metrics struct {
 	TablesChecked atomic.Int64 // tables consulted across all gets
 	BloomSkips    atomic.Int64 // tables skipped by bloom filters
 
+	// Background-failure handling.
+	BgRetries            atomic.Int64 // flush/compaction attempts retried after a transient failure
+	BgRecoveredFaults    atomic.Int64 // background ops that succeeded after failed attempts
+	ReadOnlyDegradations atomic.Int64 // entries into read-only mode
+	HolePunchFallbacks   atomic.Int64 // punches degraded to dead-range accounting
+
 	// Latency histograms.
 	WriteLatency histogram.Histogram
 	ReadLatency  histogram.Histogram
@@ -74,6 +80,11 @@ type Snapshot struct {
 	GetHits       int64
 	TablesChecked int64
 	BloomSkips    int64
+
+	BgRetries            int64
+	BgRecoveredFaults    int64
+	ReadOnlyDegradations int64
+	HolePunchFallbacks   int64
 }
 
 // Snapshot copies the scalar counters (histograms are read directly).
@@ -102,5 +113,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		GetHits:       m.GetHits.Load(),
 		TablesChecked: m.TablesChecked.Load(),
 		BloomSkips:    m.BloomSkips.Load(),
+
+		BgRetries:            m.BgRetries.Load(),
+		BgRecoveredFaults:    m.BgRecoveredFaults.Load(),
+		ReadOnlyDegradations: m.ReadOnlyDegradations.Load(),
+		HolePunchFallbacks:   m.HolePunchFallbacks.Load(),
 	}
 }

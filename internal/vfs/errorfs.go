@@ -1,0 +1,367 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Op labels an injectable operation site on an ErrorFS. The set mirrors
+// every place the engine touches storage: file creation, appends, random
+// reads, data barriers, directory barriers, renames, unlinks, and hole
+// punches.
+type Op uint8
+
+// The injectable operation sites.
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpReadAt
+	OpSync
+	OpSyncDir
+	OpRename
+	OpRemove
+	OpPunchHole
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpCreate:    "Create",
+	OpWrite:     "Write",
+	OpReadAt:    "ReadAt",
+	OpSync:      "Sync",
+	OpSyncDir:   "SyncDir",
+	OpRename:    "Rename",
+	OpRemove:    "Remove",
+	OpPunchHole: "PunchHole",
+}
+
+// String names the operation.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", op)
+}
+
+// InjectedError is the fault an ErrorFS injector returns. Permanent faults
+// model broken hardware (every retry fails the same way); transient faults
+// model recoverable conditions such as a momentary I/O hiccup.
+type InjectedError struct {
+	Op        Op
+	Name      string
+	Permanent bool
+}
+
+// Error describes the fault.
+func (e *InjectedError) Error() string {
+	kind := "transient"
+	if e.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("vfs: injected %s %s fault on %q", kind, e.Op, e.Name)
+}
+
+// Transient reports whether retrying the operation may succeed. The engine's
+// background-error classifier consults this via errors.As.
+func (e *InjectedError) Transient() bool { return !e.Permanent }
+
+// Injector decides, before each labeled operation runs, whether it fails.
+// op and name identify the site; n is the 1-based count of op occurrences
+// so far (including this one), across all files. Returning a non-nil error
+// fails the operation without reaching the wrapped filesystem. Injectors
+// may be called from any goroutine and may call back into the ErrorFS's
+// CrashImage/TornCrashImage (crash-at-fault-point hooks do).
+type Injector interface {
+	Inject(op Op, name string, n int64) error
+}
+
+// InjectorFunc adapts a function to the Injector interface.
+type InjectorFunc func(op Op, name string, n int64) error
+
+// Inject calls f.
+func (f InjectorFunc) Inject(op Op, name string, n int64) error { return f(op, name, n) }
+
+// FailNth returns a deterministic injector: with permanent false it fails
+// exactly the nth occurrence of op (a one-shot transient fault); with
+// permanent true it fails the nth and every later occurrence.
+func FailNth(op Op, nth int64, permanent bool) Injector {
+	return InjectorFunc(func(o Op, name string, n int64) error {
+		if o != op {
+			return nil
+		}
+		if n == nth || (permanent && n > nth) {
+			return &InjectedError{Op: o, Name: name, Permanent: permanent}
+		}
+		return nil
+	})
+}
+
+// FailProb returns a seeded probabilistic injector failing each listed op
+// with probability p. An empty ops list targets every op.
+func FailProb(seed int64, p float64, permanent bool, ops ...Op) Injector {
+	var match [numOps]bool
+	for _, op := range ops {
+		match[op] = true
+	}
+	all := len(ops) == 0
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return InjectorFunc(func(o Op, name string, n int64) error {
+		if !all && (int(o) >= len(match) || !match[o]) {
+			return nil
+		}
+		mu.Lock()
+		hit := rng.Float64() < p
+		mu.Unlock()
+		if hit {
+			return &InjectedError{Op: o, Name: name, Permanent: permanent}
+		}
+		return nil
+	})
+}
+
+// FilterName narrows inj to operations whose file name satisfies pred.
+func FilterName(pred func(name string) bool, inj Injector) Injector {
+	return InjectorFunc(func(o Op, name string, n int64) error {
+		if !pred(name) {
+			return nil
+		}
+		return inj.Inject(o, name, n)
+	})
+}
+
+// ErrorFS wraps a filesystem with labeled fault-injection sites and, when
+// the wrapped filesystem is a *MemFS, torn-write crash-image simulation.
+// Each operation first consults the installed injector (if any); a non-nil
+// result fails the operation before it reaches the wrapped filesystem, so
+// an injected Sync failure really does leave the affected bytes unsynced.
+type ErrorFS struct {
+	inner FS
+
+	// counts is the per-op occurrence counter feeding Injector.Inject.
+	counts [numOps]atomic.Int64
+
+	// mu guards the fields below.
+	mu  sync.Mutex
+	inj Injector
+	// pending holds, per file name, the bytes written through this ErrorFS
+	// since the file's last successful sync — the data a torn crash image
+	// may partially expose. Tracking is by name at handle-creation time;
+	// the engine never renames a file it still writes through.
+	pending map[string][]byte
+}
+
+var _ FS = (*ErrorFS)(nil)
+
+// NewErrorFS wraps inner with no injector installed (all operations pass
+// through until SetInjector is called).
+func NewErrorFS(inner FS) *ErrorFS {
+	return &ErrorFS{inner: inner, pending: make(map[string][]byte)}
+}
+
+// SetInjector installs inj; nil disables injection. Safe to call while the
+// filesystem is in use.
+func (fs *ErrorFS) SetInjector(inj Injector) {
+	fs.mu.Lock()
+	fs.inj = inj
+	fs.mu.Unlock()
+}
+
+// OpCount returns how many occurrences of op have been observed (whether
+// or not they were failed).
+func (fs *ErrorFS) OpCount(op Op) int64 { return fs.counts[op].Load() }
+
+// check counts the operation and consults the injector. The injector runs
+// outside fs.mu so its hook may call back into CrashImage/TornCrashImage.
+func (fs *ErrorFS) check(op Op, name string) error {
+	n := fs.counts[op].Add(1)
+	fs.mu.Lock()
+	inj := fs.inj
+	fs.mu.Unlock()
+	if inj == nil {
+		return nil
+	}
+	return inj.Inject(op, name, n)
+}
+
+// Create creates (or truncates) name, subject to OpCreate injection.
+func (fs *ErrorFS) Create(name string) (File, error) {
+	if err := fs.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.pending[name] = nil // Create truncates
+	fs.mu.Unlock()
+	return &errorFile{fs: fs, name: name, inner: f}, nil
+}
+
+// Open opens name for reads. Open itself is not an injection site, but the
+// returned handle's operations are (Repair syncs files through Open
+// handles).
+func (fs *ErrorFS) Open(name string) (File, error) {
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &errorFile{fs: fs, name: name, inner: f}, nil
+}
+
+// Remove deletes name, subject to OpRemove injection.
+func (fs *ErrorFS) Remove(name string) error {
+	if err := fs.check(OpRemove, name); err != nil {
+		return err
+	}
+	if err := fs.inner.Remove(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	delete(fs.pending, name)
+	fs.mu.Unlock()
+	return nil
+}
+
+// Rename renames oldname to newname, subject to OpRename injection.
+func (fs *ErrorFS) Rename(oldname, newname string) error {
+	if err := fs.check(OpRename, oldname); err != nil {
+		return err
+	}
+	if err := fs.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if p, ok := fs.pending[oldname]; ok {
+		fs.pending[newname] = p
+		delete(fs.pending, oldname)
+	} else {
+		delete(fs.pending, newname)
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// List returns all file names (never injected).
+func (fs *ErrorFS) List() ([]string, error) { return fs.inner.List() }
+
+// Stat returns the size of name (never injected).
+func (fs *ErrorFS) Stat(name string) (int64, error) { return fs.inner.Stat(name) }
+
+// SyncDir syncs the directory, subject to OpSyncDir injection.
+func (fs *ErrorFS) SyncDir() error {
+	if err := fs.check(OpSyncDir, ""); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir()
+}
+
+// CrashImage returns the crash-durable state of the wrapped MemFS (it
+// panics when the inner filesystem is not a *MemFS). The injector hook may
+// call this to snapshot the image at the exact fault point.
+func (fs *ErrorFS) CrashImage() *MemFS {
+	return fs.inner.(*MemFS).CrashClone()
+}
+
+// TornCrashImage is CrashImage plus torn-write simulation: for every
+// surviving file, a random prefix of its unsynced tail (bytes written
+// through this ErrorFS but never durably synced) reaches the image, and
+// with probability 1/2 the final bytes of that prefix are replaced with
+// garbage — the states a real disk exposes when power fails mid-write.
+// Synced bytes are never torn. rng drives all random choices; files are
+// processed in sorted-name order so a seeded rng gives a deterministic
+// image.
+func (fs *ErrorFS) TornCrashImage(rng *rand.Rand) *MemFS {
+	clone := fs.inner.(*MemFS).CrashClone()
+	fs.mu.Lock()
+	pending := make(map[string][]byte, len(fs.pending))
+	names := make([]string, 0, len(fs.pending))
+	for name, tail := range fs.pending {
+		if len(tail) == 0 {
+			continue
+		}
+		pending[name] = append([]byte(nil), tail...)
+		names = append(names, name)
+	}
+	fs.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f, err := clone.Open(name)
+		if err != nil {
+			continue // directory entry was not durable: nothing survives
+		}
+		tail := pending[name]
+		k := rng.Intn(len(tail) + 1) // torn bytes that reached the platter
+		frag := append([]byte(nil), tail[:k]...)
+		if k > 0 && rng.Intn(2) == 0 {
+			g := 1 + rng.Intn(min(k, 64))
+			for i := k - g; i < k; i++ {
+				frag[i] = byte(rng.Intn(256))
+			}
+		}
+		if len(frag) > 0 {
+			_, _ = f.Write(frag)
+		}
+		_ = f.Close()
+	}
+	return clone
+}
+
+// errorFile routes a handle's operations through the ErrorFS check sites
+// and maintains the unsynced-bytes tracking for torn-write simulation.
+type errorFile struct {
+	fs    *ErrorFS
+	name  string
+	inner File
+}
+
+var _ File = (*errorFile)(nil)
+
+func (f *errorFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(OpWrite, f.name); err != nil {
+		return 0, err
+	}
+	n, err := f.inner.Write(p)
+	if n > 0 {
+		f.fs.mu.Lock()
+		f.fs.pending[f.name] = append(f.fs.pending[f.name], p[:n]...)
+		f.fs.mu.Unlock()
+	}
+	return n, err
+}
+
+func (f *errorFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(OpReadAt, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *errorFile) Sync() error {
+	if err := f.fs.check(OpSync, f.name); err != nil {
+		return err
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	delete(f.fs.pending, f.name)
+	f.fs.mu.Unlock()
+	return nil
+}
+
+func (f *errorFile) Size() (int64, error) { return f.inner.Size() }
+
+func (f *errorFile) PunchHole(off, length int64) error {
+	if err := f.fs.check(OpPunchHole, f.name); err != nil {
+		return err
+	}
+	return f.inner.PunchHole(off, length)
+}
+
+func (f *errorFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,252 @@
+package vfs
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustCreate(t *testing.T, fs FS, name string, data []byte, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 0 {
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sz, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, sz)
+	if sz > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func TestErrorFSFailNthTransient(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	fs.SetInjector(FailNth(OpSync, 2, false))
+
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil { // 1st sync: passes
+		t.Fatal(err)
+	}
+	err = f.Sync() // 2nd sync: injected
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("second Sync = %v, want InjectedError", err)
+	}
+	if inj.Op != OpSync || inj.Name != "a" || inj.Permanent {
+		t.Fatalf("injected error = %+v, want transient OpSync on a", inj)
+	}
+	if !inj.Transient() {
+		t.Fatal("Transient() = false for a non-permanent fault")
+	}
+	if err := f.Sync(); err != nil { // 3rd sync: one-shot fault has passed
+		t.Fatalf("third Sync = %v, want nil", err)
+	}
+	if got := fs.OpCount(OpSync); got != 3 {
+		t.Fatalf("OpCount(OpSync) = %d, want 3", got)
+	}
+}
+
+func TestErrorFSFailNthPermanent(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	fs.SetInjector(FailNth(OpSync, 1, true))
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := f.Sync()
+		var inj *InjectedError
+		if !errors.As(err, &inj) || !inj.Permanent || inj.Transient() {
+			t.Fatalf("Sync attempt %d = %v, want permanent InjectedError", i+1, err)
+		}
+	}
+}
+
+func TestErrorFSFailProbSeeded(t *testing.T) {
+	// The same seed must fail the same occurrences; ops not listed never fail.
+	run := func() []int64 {
+		fs := NewErrorFS(NewMem())
+		fs.SetInjector(FailProb(42, 0.3, false, OpWrite))
+		f, err := fs.Create("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var failed []int64
+		for i := 0; i < 50; i++ {
+			if _, err := f.Write([]byte("x")); err != nil {
+				failed = append(failed, fs.OpCount(OpWrite))
+			}
+		}
+		if err := f.Sync(); err != nil { // OpSync not targeted
+			t.Fatalf("Sync = %v, want nil (untargeted op)", err)
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("p=0.3 over 50 writes injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault sites: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestErrorFSFilterName(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	fs.SetInjector(FilterName(
+		func(name string) bool { return strings.HasSuffix(name, ".sst") },
+		FailNth(OpSync, 1, true),
+	))
+	other, err := fs.Create("MANIFEST-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Sync(); err != nil {
+		t.Fatalf("Sync on unmatched name = %v, want nil", err)
+	}
+	sst, err := fs.Create("000002.sst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The global OpSync count is already past 1; FilterName must still fail
+	// this call because FailNth sees the global counter and permanent faults
+	// cover every occurrence at or after nth.
+	if err := sst.Sync(); err == nil {
+		t.Fatal("Sync on matched name = nil, want injected error")
+	}
+}
+
+func TestErrorFSRenameMovesPendingTail(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	mustCreate(t, fs, "tmp", []byte("payload"), false) // unsynced
+	if err := fs.Rename("tmp", "CURRENT"); err != nil {
+		t.Fatal(err)
+	}
+	// The unsynced tail must follow the rename: a torn image may expose a
+	// prefix of CURRENT's bytes, not tmp's.
+	img := fs.TornCrashImage(rand.New(rand.NewSource(1)))
+	if _, err := img.Open("tmp"); err == nil {
+		t.Fatal("tmp still present in crash image after rename")
+	}
+}
+
+func TestErrorFSTornCrashImageDeterministic(t *testing.T) {
+	build := func() *ErrorFS {
+		fs := NewErrorFS(NewMem())
+		mustCreate(t, fs, "a", []byte("durable-bytes"), true)
+		f, err := fs.Open("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("-unsynced-tail-of-a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mustCreate(t, fs, "b", []byte("never-synced"), false)
+		return fs
+	}
+
+	imgOf := func(seed int64) map[string]string {
+		fs := build()
+		img := fs.TornCrashImage(rand.New(rand.NewSource(seed)))
+		names, err := img.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(names))
+		for _, n := range names {
+			out[n] = string(readAll(t, img, n))
+		}
+		return out
+	}
+
+	x, y := imgOf(7), imgOf(7)
+	if len(x) != len(y) {
+		t.Fatalf("same seed, different image file sets: %v vs %v", x, y)
+	}
+	for n, v := range x {
+		if y[n] != v {
+			t.Fatalf("same seed, different torn content for %s: %q vs %q", n, v, y[n])
+		}
+	}
+
+	// Synced bytes are never torn, and the tail never grows past what was
+	// written: check across several seeds.
+	for seed := int64(0); seed < 20; seed++ {
+		fs := build()
+		img := fs.TornCrashImage(rand.New(rand.NewSource(seed)))
+		got := readAll(t, img, "a")
+		if len(got) < len("durable-bytes") || string(got[:len("durable-bytes")]) != "durable-bytes" {
+			t.Fatalf("seed %d: durable prefix torn: %q", seed, got)
+		}
+		if max := len("durable-bytes") + len("-unsynced-tail-of-a"); len(got) > max {
+			t.Fatalf("seed %d: image longer than written data: %d > %d", seed, len(got), max)
+		}
+		// b's directory entry was never made durable: it must not survive.
+		if _, err := img.Open("b"); err == nil {
+			t.Fatalf("seed %d: never-synced file resurrected in crash image", seed)
+		}
+	}
+}
+
+func TestErrorFSSyncClearsPendingTail(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	mustCreate(t, fs, "a", []byte("alpha"), true)
+	// After a successful sync nothing is pending, so every torn image is
+	// byte-identical to the durable state.
+	for seed := int64(0); seed < 5; seed++ {
+		img := fs.TornCrashImage(rand.New(rand.NewSource(seed)))
+		if got := string(readAll(t, img, "a")); got != "alpha" {
+			t.Fatalf("seed %d: synced file torn: %q", seed, got)
+		}
+	}
+}
+
+func TestErrorFSCreateResetsPendingTail(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	mustCreate(t, fs, "a", []byte("one"), true)
+	mustCreate(t, fs, "a", []byte("two"), true) // re-create truncates
+	img := fs.TornCrashImage(rand.New(rand.NewSource(3)))
+	if got := string(readAll(t, img, "a")); got != "two" {
+		t.Fatalf("after re-create+sync: %q, want %q", got, "two")
+	}
+}

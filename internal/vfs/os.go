@@ -136,10 +136,12 @@ func (o *osFile) Size() (int64, error) {
 	return info.Size(), nil
 }
 
-// PunchHole zeroes the given range. The portable implementation writes
-// zeros in place (space is not reclaimed); on the Mem backend the range is
-// deallocated exactly. Correctness of the engine only requires that holes
-// read back as zeros, which both implementations guarantee.
+// PunchHole deallocates the given range natively where the platform and
+// filesystem support it. Where they do not, it zeroes the range in place
+// (so stale table bytes cannot be resurrected by a later Repair scan) and
+// returns an error wrapping ErrPunchHoleUnsupported so callers can account
+// the range as dead rather than reclaimed. Engine correctness only
+// requires that holes read back as zeros, which both paths guarantee.
 func (o *osFile) PunchHole(off, length int64) error {
 	if o.readonly {
 		return ErrReadOnly
@@ -147,20 +149,27 @@ func (o *osFile) PunchHole(off, length int64) error {
 	if length <= 0 {
 		return nil
 	}
+	switch err := punchHoleNative(o.f, off, length); {
+	case err == nil:
+		return nil
+	case !errors.Is(err, ErrPunchHoleUnsupported):
+		return fmt.Errorf("vfs: punch hole: %w", err)
+	}
 	const chunk = 64 << 10
 	zeros := make([]byte, chunk)
-	for length > 0 {
-		n := length
+	remaining, at := length, off
+	for remaining > 0 {
+		n := remaining
 		if n > chunk {
 			n = chunk
 		}
-		if _, err := o.f.WriteAt(zeros[:n], off); err != nil {
+		if _, err := o.f.WriteAt(zeros[:n], at); err != nil {
 			return fmt.Errorf("vfs: punch hole: %w", err)
 		}
-		off += n
-		length -= n
+		at += n
+		remaining -= n
 	}
-	return nil
+	return fmt.Errorf("vfs: punch hole [%d,+%d): %w", off, length, ErrPunchHoleUnsupported)
 }
 
 func (o *osFile) Close() error { return o.f.Close() }

@@ -1,0 +1,27 @@
+//go:build linux
+
+package vfs
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// fallocate flags from linux/falloc.h; the syscall package does not export
+// them. Punching requires KEEP_SIZE so the file length is unchanged.
+const (
+	fallocFlKeepSize  = 0x1
+	fallocFlPunchHole = 0x2
+)
+
+// punchHoleNative deallocates [off, off+length) with FALLOC_FL_PUNCH_HOLE.
+// Filesystems without hole support (and kernels without fallocate) report
+// ErrPunchHoleUnsupported so the caller can fall back to zeroing.
+func punchHoleNative(f *os.File, off, length int64) error {
+	err := syscall.Fallocate(int(f.Fd()), fallocFlPunchHole|fallocFlKeepSize, off, length)
+	if errors.Is(err, syscall.EOPNOTSUPP) || errors.Is(err, syscall.ENOSYS) {
+		return ErrPunchHoleUnsupported
+	}
+	return err
+}

@@ -22,6 +22,13 @@ var ErrReadOnly = errors.New("vfs: file is read-only")
 // ErrClosed is returned when operating on a closed file.
 var ErrClosed = errors.New("vfs: file is closed")
 
+// ErrPunchHoleUnsupported reports that PunchHole could not deallocate the
+// range because the backend (platform or filesystem) lacks hole-punching
+// support. Implementations that return it still guarantee the range reads
+// back as zeros — only the space reclamation is missing — so callers can
+// degrade to accounting the range as dead instead of failing.
+var ErrPunchHoleUnsupported = errors.New("vfs: punch hole unsupported by backend")
+
 // File is a file handle. Files created with Create support appending via
 // Write; files opened with Open support random reads via ReadAt. The Mem
 // backend supports both on every handle; the OS backend opens files with
