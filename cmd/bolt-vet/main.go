@@ -5,11 +5,17 @@
 //	               Close, LogAndApply, CommitPrepared)
 //	barrierorder — MANIFEST commits not preceded by a data-file sync
 //	lockcheck    — mutex-guarded field access vs the *Locked convention
+//	lockorder    — double mutex acquisition through any call chain, and
+//	               cycles in the lock-acquisition-order graph
+//	errflow      — barrier-born errors that die in a helper or wrap chain
+//	atomicfield  — plain access to (or copies of) sync/atomic fields
+//	summary      — boltvet:ignore hygiene (reasons, known analyzer names)
 //
 // Usage:
 //
 //	go run ./cmd/bolt-vet ./...
 //	go run ./cmd/bolt-vet -tests=false ./internal/core
+//	go run ./cmd/bolt-vet -json ./... | jq .analyzer
 //	go run ./cmd/bolt-vet internal/boltvet/testdata/src/syncerr   # vet fixtures on purpose
 //
 // Run it from the module root: package loading resolves module-internal
@@ -19,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,11 +34,22 @@ import (
 	"github.com/bolt-lsm/bolt/internal/boltvet"
 )
 
+// jsonFinding is the -json wire format: one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	tests := flag.Bool("tests", true, "also analyze *_test.go files")
 	tags := flag.String("tags", "", "comma-separated extra build tags (e.g. boltinvariants)")
 	typeErrs := flag.Bool("typeerrors", false, "print type-checking errors (analysis is best-effort under them)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Parse()
 
 	if *list {
@@ -67,11 +85,39 @@ func main() {
 	}
 
 	findings := boltvet.RunAll(pkgs, boltvet.All())
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
-		fmt.Println(f.String())
+		switch {
+		case *jsonOut:
+			if err := enc.Encode(jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "bolt-vet:", err)
+				os.Exit(2)
+			}
+		case *github:
+			// https://docs.github.com/actions/reference/workflow-commands:
+			// property values use URL-style escapes for , : % and newlines.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=bolt-vet %s::%s\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, escapeAnnotation(f.Message))
+		default:
+			fmt.Println(f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "bolt-vet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// escapeAnnotation escapes a message for a GitHub workflow-command value.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }

@@ -94,7 +94,7 @@ func (a kv) Scan(start []byte, maxLen int) (int, error) {
 	return n, it.Err()
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		dir       = flag.String("db", "", "database directory (required for -storage disk)")
 		storage   = flag.String("storage", "disk", "disk | mem | sim")
@@ -156,7 +156,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	// Close flushes and syncs the WAL tail; its error is the run's error
+	// when nothing else failed first.
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	workloads := []ycsb.Workload{first}
 	if *then != "" {

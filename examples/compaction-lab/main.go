@@ -29,7 +29,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
 
 	rng := rand.New(rand.NewSource(7))
 	value := make([]byte, 128)
@@ -55,4 +54,8 @@ func main() {
 
 	fmt.Println("final layout (table num, physical file @offset, key range):")
 	fmt.Println(db.DebugLayout())
+
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -50,12 +50,16 @@ func main() {
 	}
 }
 
-func runServer(addr, dir string) error {
+func runServer(addr, dir string) (err error) {
 	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT})
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

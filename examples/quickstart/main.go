@@ -21,7 +21,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
 
 	// Single writes.
 	if err := db.Put([]byte("greeting"), []byte("hello, LSM")); err != nil {
@@ -48,7 +47,9 @@ func main() {
 
 	// Snapshot isolation.
 	snap := db.GetSnapshot()
-	db.Put([]byte("user:003"), []byte("mutated-later"))
+	if err := db.Put([]byte("user:003"), []byte("mutated-later")); err != nil {
+		log.Fatal(err)
+	}
 	old, err := db.GetAt([]byte("user:003"), snap)
 	if err != nil {
 		log.Fatal(err)
@@ -74,4 +75,9 @@ func main() {
 	fmt.Printf("\nengine: %d writes, %d fsyncs, %d flushes, %d compactions\n",
 		s.Writes, s.Fsyncs, s.MemtableFlushes, s.Compactions)
 	fmt.Printf("database directory: %s\n", dir)
+
+	// Close is a durability barrier too: it flushes and syncs the WAL tail.
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -246,7 +246,7 @@ func RunSequence(o *bolt.Options, s Scale, dist ycsb.Distribution, only map[ycsb
 			}
 			res, err := ycsb.Run(kv, cfg)
 			if err != nil {
-				_ = db.Close()
+				_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 				return nil, fmt.Errorf("bench: %s on %s: %w", w, o.Profile, err)
 			}
 			records += res.InsertedRecords

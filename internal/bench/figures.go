@@ -98,14 +98,14 @@ func Fig6(p Params) error {
 			Workload: ycsb.LoadA, Ops: loadOps,
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 1,
 		}); err != nil {
-			_ = db.Close()
+			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
 		// Separate the population's compaction debt from the read
 		// measurement (the paper submits its 1M point queries against a
 		// settled database).
 		if err := db.WaitIdle(); err != nil {
-			_ = db.Close()
+			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
 		before := db.Stats()
@@ -115,7 +115,7 @@ func Fig6(p Params) error {
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 2,
 		})
 		if err != nil {
-			_ = db.Close()
+			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
 		after := db.Stats()

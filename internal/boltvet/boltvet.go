@@ -15,8 +15,9 @@
 //	//boltvet:ignore all -- reason
 //
 // or for a whole function by placing the comment in the function's doc
-// comment. Every suppression should carry a reason; the suppression is
-// itself greppable review surface.
+// comment. The reason is mandatory: a suppression without ` -- <why>`
+// suppresses nothing and is itself reported by the summary analyzer — the
+// suppression is greppable review surface and must say what was reviewed.
 package boltvet
 
 import (
@@ -53,32 +54,66 @@ type Package struct {
 	TypeErrors []error
 }
 
-// Analyzer is one named check over a package.
+// Analyzer is one named check. Run sees one package at a time; RunProgram
+// sees the whole-program call graph with computed summaries. An analyzer
+// sets either or both (lockcheck pairs a lexical Run with an
+// interprocedural RunProgram).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Finding
+	RunProgram func(prog *Program) []Finding
 }
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{SyncErr, BarrierOrder, LockCheck}
+	return []*Analyzer{SyncErr, BarrierOrder, LockCheck, LockOrder, ErrFlow, AtomicField, SummaryCheck}
 }
 
 // RunAll applies every analyzer to every package, dropping suppressed
-// findings and sorting the rest by position.
+// findings and sorting the rest by position. When any enabled analyzer is
+// interprocedural, the call graph and function summaries are built once
+// over all packages.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	sup := newSuppressions(pkgs)
 	var out []Finding
+	keep := func(f Finding) {
+		if !sup.suppressed(f) {
+			out = append(out, f)
+		}
+	}
 	for _, p := range pkgs {
-		sup := newSuppressions(p)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, f := range a.Run(p) {
-				if !sup.suppressed(f) {
-					out = append(out, f)
-				}
+				keep(f)
 			}
 		}
 	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+			ComputeSummaries(prog)
+		}
+		for _, f := range a.RunProgram(prog) {
+			keep(f)
+		}
+	}
+	seen := make(map[string]bool, len(out))
+	dedup := out[:0]
+	for _, f := range out {
+		if s := f.String(); !seen[s] {
+			seen[s] = true
+			dedup = append(dedup, f)
+		}
+	}
+	out = dedup
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -92,7 +127,11 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	return out
 }
 
-var ignoreRe = regexp.MustCompile(`//\s*boltvet:ignore\s+([a-z, ]+)`)
+// ignoreRe matches a boltvet:ignore directive, capturing the analyzer name
+// list and the (mandatory for suppression) ` -- reason` tail. Anchored at
+// the start of the comment so prose that merely mentions the directive
+// syntax does not parse as one.
+var ignoreRe = regexp.MustCompile(`^//\s*boltvet:ignore\s+([A-Za-z][A-Za-z, ]*?)\s*(?:--\s*(\S.*))?$`)
 
 // suppressions indexes //boltvet:ignore comments by file line and by
 // function extent.
@@ -112,64 +151,84 @@ type supSpan struct {
 	names      map[string]bool
 }
 
-func parseIgnoreNames(text string) map[string]bool {
+// parseIgnoreDirective decodes a boltvet:ignore comment. ok is false when
+// the comment is not a directive at all; a directive without a reason
+// returns ok with an empty reason (reported by the summary analyzer, and
+// suppressing nothing).
+func parseIgnoreDirective(text string) (names []string, reason string, ok bool) {
 	m := ignoreRe.FindStringSubmatch(text)
 	if m == nil {
-		return nil
+		return nil, "", false
 	}
-	names := make(map[string]bool)
 	for _, n := range strings.Split(m[1], ",") {
 		n = strings.TrimSpace(n)
 		if n != "" {
-			names[n] = true
+			names = append(names, n)
 		}
+	}
+	return names, strings.TrimSpace(m[2]), true
+}
+
+// parseIgnoreNames returns the analyzer set a comment suppresses: only
+// reasoned directives suppress.
+func parseIgnoreNames(text string) map[string]bool {
+	list, reason, ok := parseIgnoreDirective(text)
+	if !ok || reason == "" || len(list) == 0 {
+		return nil
+	}
+	names := make(map[string]bool, len(list))
+	for _, n := range list {
+		names[n] = true
 	}
 	return names
 }
 
-func newSuppressions(p *Package) *suppressions {
-	s := &suppressions{fset: p.Fset, lines: make(map[string]map[int]map[string]bool)}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseIgnoreNames(c.Text)
-				if names == nil {
+func newSuppressions(pkgs []*Package) *suppressions {
+	s := &suppressions{lines: make(map[string]map[int]map[string]bool)}
+	for _, p := range pkgs {
+		s.fset = p.Fset
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names := parseIgnoreNames(c.Text)
+					if names == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					byLine := s.lines[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						s.lines[pos.Filename] = byLine
+					}
+					if byLine[pos.Line] == nil {
+						byLine[pos.Line] = make(map[string]bool)
+					}
+					for n := range names {
+						byLine[pos.Line][n] = true
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				byLine := s.lines[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					s.lines[pos.Filename] = byLine
-				}
-				if byLine[pos.Line] == nil {
-					byLine[pos.Line] = make(map[string]bool)
-				}
-				for n := range names {
-					byLine[pos.Line][n] = true
-				}
-			}
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			var names map[string]bool
-			for _, c := range fd.Doc.List {
-				if n := parseIgnoreNames(c.Text); n != nil {
-					if names == nil {
-						names = make(map[string]bool)
-					}
-					for k := range n {
-						names[k] = true
+				var names map[string]bool
+				for _, c := range fd.Doc.List {
+					if n := parseIgnoreNames(c.Text); n != nil {
+						if names == nil {
+							names = make(map[string]bool)
+						}
+						for k := range n {
+							names[k] = true
+						}
 					}
 				}
-			}
-			if names != nil {
-				start := p.Fset.Position(fd.Pos())
-				end := p.Fset.Position(fd.End())
-				s.spans = append(s.spans, supSpan{file: start.Filename, start: start.Line, end: end.Line, names: names})
+				if names != nil {
+					start := p.Fset.Position(fd.Pos())
+					end := p.Fset.Position(fd.End())
+					s.spans = append(s.spans, supSpan{file: start.Filename, start: start.Line, end: end.Line, names: names})
+				}
 			}
 		}
 	}

@@ -101,13 +101,46 @@ func runFixture(t *testing.T, fixture string, analyzer *Analyzer) {
 func TestSyncErrFixture(t *testing.T)      { runFixture(t, "syncerr", SyncErr) }
 func TestBarrierOrderFixture(t *testing.T) { runFixture(t, "barrierorder", BarrierOrder) }
 func TestLockCheckFixture(t *testing.T)    { runFixture(t, "lockcheck", LockCheck) }
+func TestLockOrderFixture(t *testing.T)    { runFixture(t, "lockorder", LockOrder) }
+func TestErrFlowFixture(t *testing.T)      { runFixture(t, "errflow", ErrFlow) }
+func TestAtomicFieldFixture(t *testing.T)  { runFixture(t, "atomicfield", AtomicField) }
+
+// TestSummaryCheckFixture asserts directly instead of via // want comments:
+// a directive is the entire line comment (the regexp is $-anchored so prose
+// cannot parse as one), which leaves no room for a trailing want on the
+// same line.
+func TestSummaryCheckFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "summarycheck")
+	pkgs, err := Load(LoadConfig{}, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	findings := RunAll(pkgs, []*Analyzer{SummaryCheck})
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "without a reason") {
+		t.Errorf("finding 0 = %s, want the reasonless report", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, `unknown analyzer "snycerr"`) {
+		t.Errorf("finding 1 = %s, want the unknown-name report", findings[1])
+	}
+	for _, f := range findings {
+		if filepath.Base(f.Pos.Filename) != "fixture.go" {
+			t.Errorf("finding at %s, want it in fixture.go", f.Pos)
+		}
+	}
+}
 
 // TestFixturesTripTheDriver pins the CI contract: pointing bolt-vet at any
 // fixture package must produce findings (the driver exits 1 when findings
 // are non-empty), so a regression that silences an analyzer outright fails
 // here rather than silently vetting nothing.
 func TestFixturesTripTheDriver(t *testing.T) {
-	for _, fixture := range []string{"syncerr", "barrierorder", "lockcheck"} {
+	for _, fixture := range []string{
+		"syncerr", "barrierorder", "lockcheck",
+		"lockorder", "errflow", "atomicfield", "summarycheck",
+	} {
 		pkgs, err := Load(LoadConfig{}, filepath.Join("testdata", "src", fixture))
 		if err != nil {
 			t.Fatalf("load %s: %v", fixture, err)

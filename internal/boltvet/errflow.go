@@ -1,0 +1,95 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// ErrFlow taint-tracks error values born at durability barriers
+// (Sync/SyncDir/LogAndApply/CommitPrepared/WriteFile) through assignments,
+// fmt.Errorf wraps, and helper returns, and reports every path where the
+// taint dies before reaching a sink. Sinks are: a return statement (or a
+// named error result), a store into a field/map/element (e.g. the bgErr
+// record), a call argument (panic, logging, append, ...), a comparison or
+// other use in an expression, and a channel send.
+//
+// The split with syncerr: syncerr polices the call site of a *direct*
+// barrier call (bare statement, `_ =`, defer/go, never-mentioned err).
+// errflow adds the interprocedural half — a call to any helper whose
+// summary says it returns a barrier-born error is itself a barrier site,
+// and discarding its error is reported with the witness chain down to the
+// barrier — plus wrap-chain deaths, where a direct barrier error is copied
+// or wrapped and the wrapped value then dies.
+//
+// `_ =` at the original barrier site is syncerr's (reported there); at a
+// helper call site it is a finding here: the helper's name does not say
+// "barrier", so the discard is not reviewable without the chain.
+//
+// Test files are exempt, matching syncerr: they run on the in-memory
+// filesystem and discard errors on purpose; the bgerror recovery tests are
+// the runtime twin of this analyzer.
+var ErrFlow = &Analyzer{
+	Name:       "errflow",
+	Doc:        "taint-tracks barrier-born errors; reports paths where the error dies unhandled",
+	RunProgram: runErrFlow,
+}
+
+func runErrFlow(prog *Program) []Finding {
+	var out []Finding
+	report := func(fi *FuncInfo, pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      fi.Pkg.Fset.Position(pos),
+			Analyzer: "errflow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, fi := range prog.sortedFuncs() {
+		if fi.Decl == nil || funcInTestFile(fi) {
+			continue
+		}
+		t := analyzeErrFlow(prog, fi)
+		for _, src := range t.sources {
+			chain := strings.Join(src.chain, " -> ")
+			if src.direct {
+				// Call-site discards of a direct barrier call are syncerr's
+				// territory; errflow adds only the wrap/copy death.
+				if src.discarded != "" || src.consumed {
+					continue
+				}
+				if src.mentioned {
+					report(fi, src.call.Pos(),
+						"error from %s is copied or wrapped but never handled; the barrier error dies in %s",
+						src.name, fi.Name)
+				}
+				continue
+			}
+			switch src.discarded {
+			case "stmt":
+				report(fi, src.call.Pos(),
+					"result of %s is discarded, but it carries a durability-barrier error (%s)",
+					src.name, chain)
+			case "underscore":
+				report(fi, src.call.Pos(),
+					"error from %s is discarded via _, but it carries a durability-barrier error (%s); handle it or suppress with a reason at this site",
+					src.name, chain)
+			case "defer":
+				report(fi, src.call.Pos(),
+					"error from deferred %s is discarded; it carries a durability-barrier error (%s)",
+					src.name, chain)
+			case "go":
+				report(fi, src.call.Pos(),
+					"error from %s spawned in a goroutine is discarded; it carries a durability-barrier error (%s)",
+					src.name, chain)
+			default:
+				if !src.consumed {
+					report(fi, src.call.Pos(),
+						"error from %s is captured but never handled; the barrier error (%s) dies in %s",
+						src.name, chain, fi.Name)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -80,17 +80,18 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 			}
 			return nil, fmt.Errorf("boltvet: %s: %w", dir, err)
 		}
+		importPath := resolveImportPath(dir, bp.ImportPath)
 		names := append([]string(nil), bp.GoFiles...)
 		if cfg.Tests {
 			names = append(names, bp.TestGoFiles...)
 		}
-		if p, err := loadFiles(fset, imp, dir, bp.ImportPath, names); err != nil {
+		if p, err := loadFiles(fset, imp, dir, importPath, names); err != nil {
 			return nil, err
 		} else if p != nil {
 			pkgs = append(pkgs, p)
 		}
 		if cfg.Tests && len(bp.XTestGoFiles) > 0 {
-			p, err := loadFiles(fset, imp, dir, bp.ImportPath+"_test", bp.XTestGoFiles)
+			p, err := loadFiles(fset, imp, dir, importPath+"_test", bp.XTestGoFiles)
 			if err != nil {
 				return nil, err
 			}
@@ -100,6 +101,45 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		}
 	}
 	return pkgs, nil
+}
+
+// resolveImportPath returns the module-qualified import path of dir.
+// Outside GOPATH, build.ImportDir reports "." — useless as a cross-package
+// identity — so the path is derived from the nearest go.mod: module path
+// plus the directory's position under the module root. The interprocedural
+// analyzers rely on this: a function or mutex must get the same string key
+// whether its package was loaded directly or reached through an import.
+func resolveImportPath(dir, fallback string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return fallback
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if mod, ok := strings.CutPrefix(line, "module "); ok {
+					mod = strings.TrimSpace(mod)
+					rel, err := filepath.Rel(root, abs)
+					if err != nil {
+						return fallback
+					}
+					if rel == "." {
+						return mod
+					}
+					return mod + "/" + filepath.ToSlash(rel)
+				}
+			}
+			return fallback
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return fallback
+		}
+		root = parent
+	}
 }
 
 func loadFiles(fset *token.FileSet, imp types.Importer, dir, importPath string, names []string) (*Package, error) {

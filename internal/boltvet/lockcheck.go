@@ -26,17 +26,118 @@ import (
 //  1. A method that touches a guarded field must either acquire the
 //     guarding mutex somewhere in its body or be named *Locked
 //     (declaring that the caller holds it).
+//
 //  2. A *Locked method must not acquire a guarding mutex it is declared
 //     to hold: a Lock/RLock on it with no lexically-preceding
 //     Unlock/RUnlock is a self-deadlock. (Unlock-then-relock around I/O
 //     is the established pattern and stays legal.)
 //
-// The check sees direct receiver accesses (recv.field) only; aliased or
-// chained access is out of scope and stays on the runtime race detector.
+//  3. (interprocedural, via the summary engine) A *Locked method must not
+//     call — through any chain — a function that acquires a mutex the
+//     method's name declares held, unless the path provably releases it
+//     first. This is what catches a *Locked helper reaching a public API
+//     that re-locks the engine mutex three calls deep.
+//
+// The lexical rules see direct receiver accesses (recv.field) only;
+// aliased or chained access is out of scope and stays on the runtime race
+// detector.
 var LockCheck = &Analyzer{
-	Name: "lockcheck",
-	Doc:  "enforces mutex acquisition or the *Locked suffix for guarded-field access",
-	Run:  runLockCheck,
+	Name:       "lockcheck",
+	Doc:        "enforces mutex acquisition or the *Locked suffix for guarded-field access",
+	Run:        runLockCheck,
+	RunProgram: runLockCheckProgram,
+}
+
+// runLockCheckProgram implements rule 3. For each *Locked method it seeds
+// the abstract walker with the mutexes the name declares held (mutexes
+// guarding fields the method touches, plus the struct's single guarding
+// mutex when there is exactly one) and replays the body: any call whose
+// summary acquires a held mutex without first releasing it is a
+// self-deadlock the caller cannot see.
+func runLockCheckProgram(prog *Program) []Finding {
+	guardsByPkg := make(map[*Package]map[string]structGuards)
+	var out []Finding
+	seen := make(map[string]bool)
+
+	for _, fi := range prog.sortedFuncs() {
+		if fi.Decl == nil || funcInTestFile(fi) || !strings.HasSuffix(fi.Name, "Locked") {
+			continue
+		}
+		guards, ok := guardsByPkg[fi.Pkg]
+		if !ok {
+			guards = collectGuards(fi.Pkg)
+			guardsByPkg[fi.Pkg] = guards
+		}
+		recvType := receiverTypeName(fi.Decl)
+		g := guards[recvType]
+		if g == nil {
+			continue
+		}
+		held := declaredHeldKeys(fi, recvType, g)
+		if len(held) == 0 {
+			continue
+		}
+		fi := fi
+		st := newLockState()
+		for key := range held {
+			st.held[key] = lockWrite
+		}
+		w := newLockWalker(prog, fi, func(ev acqEvent) {
+			if ev.deferred || len(ev.chain) == 0 {
+				return // direct re-locks are rule 2's lexical report
+			}
+			if _, h := ev.held[ev.key]; !h || ev.calleeReleased[ev.key] {
+				return
+			}
+			f := Finding{
+				Pos:      fi.Pkg.Fset.Position(ev.pos),
+				Analyzer: "lockcheck",
+				Message: fmt.Sprintf("*Locked method %s calls %s, which acquires %s its name declares already held (self-deadlock); release it first or restructure",
+					fi.Name, strings.Join(ev.chain, " -> "), shortLockKey(ev.key)),
+			}
+			if !seen[f.String()] {
+				seen[f.String()] = true
+				out = append(out, f)
+			}
+		})
+		w.walkFrom(st)
+	}
+	return out
+}
+
+// declaredHeldKeys maps a *Locked method to the lock keys its name
+// declares held: the mutexes guarding fields it accesses, plus the
+// struct's guarding mutex when the struct has exactly one.
+func declaredHeldKeys(fi *FuncInfo, recvType string, g structGuards) map[string]bool {
+	pkgPath := ""
+	if fi.Pkg.Types != nil {
+		pkgPath = fi.Pkg.Types.Path()
+	}
+	mutexes := make(map[string]bool)
+	distinct := make(map[string]bool)
+	for _, mu := range g {
+		distinct[mu] = true
+	}
+	if len(distinct) == 1 {
+		for mu := range distinct {
+			mutexes[mu] = true
+		}
+	}
+	if recvObj := receiverObject(fi.Pkg, fi.Decl); recvObj != nil {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && isReceiverIdent(fi.Pkg, sel.X, recvObj) {
+				if mu, guarded := g[sel.Sel.Name]; guarded {
+					mutexes[mu] = true
+				}
+			}
+			return true
+		})
+	}
+	keys := make(map[string]bool, len(mutexes))
+	for mu := range mutexes {
+		keys[pkgPath+"."+recvType+"."+mu] = true
+	}
+	return keys
 }
 
 var (

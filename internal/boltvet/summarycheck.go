@@ -1,0 +1,57 @@
+package boltvet
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// SummaryCheck is the summary engine's self-check pass: it keeps the
+// suppression surface honest. A `//boltvet:ignore` directive must name
+// known analyzers and carry a ` -- <reason>` tail; a reasonless directive
+// suppresses nothing (see parseIgnoreNames) and is reported here, as is a
+// directive naming an analyzer that does not exist (typically a typo that
+// would otherwise silently fail to suppress).
+var SummaryCheck = &Analyzer{
+	Name: "summary",
+	Doc:  "reports boltvet:ignore directives with no reason or unknown analyzer names",
+}
+
+// Run is attached in init: runSummaryCheck consults All() for the known
+// analyzer names, and referencing it in the literal would form a
+// package-initialization cycle.
+func init() { SummaryCheck.Run = runSummaryCheck }
+
+func runSummaryCheck(p *Package) []Finding {
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "summary",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := parseIgnoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), "boltvet:ignore without a reason suppresses nothing; write `//boltvet:ignore <analyzer> -- <why>`")
+					continue
+				}
+				for _, n := range names {
+					if !known[n] {
+						report(c.Pos(), "boltvet:ignore names unknown analyzer %q; this directive does not suppress it", n)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package lockorder
+
+import "sync"
+
+// G pins the lock-order-cycle half: ab acquires a then b, ba acquires b
+// then a — the global acquisition-order graph has the 2-cycle {a, b}.
+type G struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (g *G) ab() {
+	g.a.Lock()
+	g.b.Lock() // want `lock-order cycle among \{lockorder.G.a, lockorder.G.b\}`
+	g.n++
+	g.b.Unlock()
+	g.a.Unlock()
+}
+
+func (g *G) ba() {
+	g.b.Lock()
+	g.a.Lock()
+	g.n--
+	g.a.Unlock()
+	g.b.Unlock()
+}

@@ -1,0 +1,82 @@
+// Package lockorder is the fixture corpus for the interprocedural
+// double-acquisition half of the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// --- interprocedural positive: 2-hop chain down to the re-lock ---
+
+func (s *S) outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.middle() // want `outer acquires lockorder.S.mu while already holding it via middle -> inner`
+}
+
+func (s *S) middle() {
+	s.inner()
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// --- intraprocedural positive: direct double lock ---
+
+func (s *S) direct() {
+	s.mu.Lock()
+	s.mu.Lock() // want `direct acquires lockorder.S.mu while already holding it \(self-deadlock\)`
+	s.n++
+	s.mu.Unlock()
+}
+
+// --- negative: unlock-then-relock callee is safe for a holding caller ---
+
+func (s *S) caller() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.relocks() // callee releases mu before re-acquiring: no finding
+}
+
+func (s *S) relocks() {
+	s.mu.Unlock()
+	s.n++ // touched outside the lock on purpose; lockorder does not police guards
+	s.mu.Lock()
+}
+
+// --- negative: read-read is tolerated ---
+
+func (s *S) readRead() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.readInner()
+}
+
+func (s *S) readInner() {
+	s.rw.RLock()
+	_ = s.n
+	s.rw.RUnlock()
+}
+
+// --- suppressed negative: reviewed and waived with a reason ---
+
+func (s *S) waived() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.middle() //boltvet:ignore lockorder -- fixture: suppressed on purpose to pin the reasoned-ignore path
+}
+
+// --- negative: a goroutine does not inherit the spawner's locks ---
+
+func (s *S) spawns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.inner()
+}

@@ -1,0 +1,21 @@
+// Package summarycheck is the fixture corpus for the suppression-hygiene
+// self-check: ignores must carry a reason and name real analyzers. A
+// directive is the whole comment, so the expectations live in
+// TestSummaryCheckFixture rather than trailing `// want` comments.
+package summarycheck
+
+func reasonless() {
+	//boltvet:ignore syncerr
+	_ = 1
+}
+
+func unknownName() {
+	//boltvet:ignore snycerr -- typo in the analyzer name
+	_ = 1
+}
+
+// reasoned is the negative: a well-formed suppression produces nothing.
+func reasoned() {
+	//boltvet:ignore syncerr -- fixture: well-formed directive
+	_ = 1
+}

@@ -1,0 +1,9 @@
+//go:build boltinvariants
+
+package tagged
+
+// dirty only exists under the boltinvariants tag; its bare Sync is the
+// canary that proves tagged files are loaded and analyzed.
+func dirty() {
+	f.Sync() // want `result of f.Sync is discarded`
+}

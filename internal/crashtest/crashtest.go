@@ -294,7 +294,7 @@ func Run(opts Options) (*Result, error) {
 		case rng.Intn(80) == 0:
 			// Clean close + reopen while the crash point is still armed:
 			// covers recovery-time barrier sites.
-			_ = db.Close()
+			_ = db.Close() //boltvet:ignore errflow -- injected faults make close errors expected; recovery is validated on reopen
 			db, err = core.Open(efs, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("seed %d op %d: reopen: %w", opts.Seed, i, err)
@@ -319,7 +319,7 @@ func Run(opts Options) (*Result, error) {
 			}
 		}
 	}
-	_ = db.Close() // reap background work; the crash image is already taken
+	_ = db.Close() //boltvet:ignore errflow -- reap background work; the crash image is already taken and verified on reopen
 
 	res := &Result{Class: class.name}
 	fired, img, at, punched := cr.state()
@@ -359,7 +359,7 @@ func verifyImage(seed int64, img *vfs.MemFS, cfg core.Config, at *modelSnapshot,
 			return repaired, fmt.Errorf("reopen after repair: %w", err)
 		}
 	}
-	defer db.Close()
+	defer db.Close() //boltvet:ignore errflow,syncerr -- read-only verification teardown; the properties below are the signal
 
 	if err := db.CheckInvariants(); err != nil {
 		return repaired, fmt.Errorf("invariants: %w", err)
