@@ -30,10 +30,13 @@ package bolt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/bolt-lsm/bolt/internal/batch"
 	"github.com/bolt-lsm/bolt/internal/core"
+	"github.com/bolt-lsm/bolt/internal/events"
+	"github.com/bolt-lsm/bolt/internal/metrics"
 	"github.com/bolt-lsm/bolt/internal/simdisk"
 	"github.com/bolt-lsm/bolt/internal/vfs"
 )
@@ -159,6 +162,16 @@ type Options struct {
 	// VerifyInvariants enables internal layout checks after every flush
 	// and compaction (for tests).
 	VerifyInvariants bool
+
+	// EventLogSize sets how many recent engine events DB.Events retains
+	// (default 512).
+	EventLogSize int
+	// EventListener, when non-nil, receives every engine event (flushes,
+	// compactions, stalls, WAL rotations, hole punches, background-error
+	// handling) synchronously as it is emitted. The callback runs with no
+	// engine lock held and may call back into the DB, but it runs on the
+	// emitting goroutine, so a slow listener slows background work.
+	EventListener func(Event)
 }
 
 // coreConfig expands the profile plus overrides into the engine config.
@@ -283,6 +296,10 @@ func (o *Options) coreConfig() core.Config {
 	}
 	c.SyncWAL = o.SyncWrites
 	c.VerifyInvariants = o.VerifyInvariants
+	c.EventLogSize = o.EventLogSize
+	if o.EventListener != nil {
+		c.EventListener = events.Listener(o.EventListener)
+	}
 	if o.EnableSettled {
 		c.SettledCompaction = true
 	}
@@ -633,6 +650,47 @@ func Repair(path string) (RepairReport, error) {
 		Entries:         r.Entries,
 	}, nil
 }
+
+// Event is one entry of the engine's structured event trace: a flush,
+// compaction, stall, WAL rotation, hole punch, or background-error
+// transition, with its volumes, barrier count, and duration. Its String
+// method renders a one-line human-readable form.
+type Event = events.Event
+
+// Event types, for filtering traces and listener callbacks.
+const (
+	EventFlushStart        = events.TypeFlushStart
+	EventFlushEnd          = events.TypeFlushEnd
+	EventCompactionStart   = events.TypeCompactionStart
+	EventCompactionEnd     = events.TypeCompactionEnd
+	EventSettledPromotion  = events.TypeSettledPromotion
+	EventHolePunch         = events.TypeHolePunch
+	EventHolePunchFallback = events.TypeHolePunchFallback
+	EventStallBegin        = events.TypeStallBegin
+	EventStallEnd          = events.TypeStallEnd
+	EventWALRotation       = events.TypeWALRotation
+	EventBgRetry           = events.TypeBgRetry
+	EventBgDegraded        = events.TypeBgDegraded
+)
+
+// Events returns the retained event trace, oldest first. The ring holds
+// the most recent Options.EventLogSize events; install an EventListener to
+// observe every event without loss.
+func (db *DB) Events() []Event { return db.inner.Events() }
+
+// LevelStats describes one level of the live tree: layout (files, tables,
+// bytes, dead bytes, read amplification) plus cumulative per-level
+// compaction counters.
+type LevelStats = metrics.LevelStats
+
+// LevelStats reports the live shape of the tree, one entry per level.
+func (db *DB) LevelStats() []LevelStats { return db.inner.LevelStats() }
+
+// WriteMetrics renders the full metric surface — engine counters, latency
+// summaries, per-level stats, cache and I/O counters — in the Prometheus
+// text exposition format. Mount it on an HTTP handler to scrape the
+// engine (see examples/kvserver).
+func (db *DB) WriteMetrics(w io.Writer) error { return db.inner.WriteMetrics(w) }
 
 // NumLevelFiles returns per-level table counts (diagnostics).
 func (db *DB) NumLevelFiles() []int {

@@ -29,8 +29,10 @@ func run() error {
 		experiment = flag.String("experiment", "all", "figure id (fig4, fig6, fig11, fig12a, fig12b, fig13, fig14, fig15, fig16) or 'all'")
 		scaleName  = flag.String("scale", "medium", "experiment scale: small | medium | large")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		statsEvery = flag.Duration("stats-every", 0, "print an engine stats line to stderr at this interval while a database is open (0 disables)")
 	)
 	flag.Parse()
+	bench.StatsEvery = *statsEvery
 
 	if *list {
 		for _, e := range bench.Experiments() {

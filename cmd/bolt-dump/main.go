@@ -1,12 +1,15 @@
 // Command bolt-dump inspects a database directory: the MANIFEST's version
 // state (levels, logical SSTables and their physical locations), per-level
 // statistics, and — with -verify — a full checksum walk of every live
-// table.
+// table. With -events it additionally opens the engine (replaying the WAL,
+// exactly like a normal open) and prints the event trace and live
+// per-level statistics the engine reports.
 //
 // Usage:
 //
 //	bolt-dump -db /tmp/mydb
 //	bolt-dump -db /tmp/mydb -verify
+//	bolt-dump -db /tmp/mydb -events
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"github.com/bolt-lsm/bolt/internal/core"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
@@ -31,6 +35,7 @@ func run() error {
 	var (
 		dir    = flag.String("db", "", "database directory (required)")
 		verify = flag.Bool("verify", false, "read every live table and verify block checksums")
+		events = flag.Bool("events", false, "open the engine (replays the WAL) and print its event trace and live level stats")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -82,23 +87,90 @@ func run() error {
 	}
 	fmt.Printf("  holding multiple logical SSTables (compaction files): %d\n", shared)
 
-	if !*verify {
-		return nil
-	}
-	fmt.Printf("\nverifying tables...\n")
-	bad := 0
+	// Per-level summary from the manifest alone (no engine open needed).
+	fmt.Printf("\nper-level stats:\n")
+	fmt.Printf("  %-6s %8s %8s %12s %8s\n", "level", "tables", "files", "bytes", "readamp")
 	for level := 0; level < manifest.NumLevels; level++ {
-		for _, f := range v.Levels[level] {
-			if err := verifyTable(fs, f); err != nil {
-				bad++
-				fmt.Printf("  table %d: %v\n", f.Num, err)
+		files := v.Levels[level]
+		if len(files) == 0 {
+			continue
+		}
+		phys := map[uint64]struct{}{}
+		for _, f := range files {
+			phys[f.PhysNum] = struct{}{}
+		}
+		readAmp := 1
+		if level == 0 {
+			readAmp = len(files)
+		}
+		fmt.Printf("  L%-5d %8d %8d %12s %8d\n",
+			level, len(files), len(phys), fmtBytes(v.LevelBytes(level)), readAmp)
+	}
+
+	if *verify {
+		fmt.Printf("\nverifying tables...\n")
+		bad := 0
+		for level := 0; level < manifest.NumLevels; level++ {
+			for _, f := range v.Levels[level] {
+				if err := verifyTable(fs, f); err != nil {
+					bad++
+					fmt.Printf("  table %d: %v\n", f.Num, err)
+				}
 			}
 		}
+		if bad > 0 {
+			return fmt.Errorf("%d corrupt tables", bad)
+		}
+		fmt.Printf("all %d tables verified clean\n", v.NumFiles())
 	}
-	if bad > 0 {
-		return fmt.Errorf("%d corrupt tables", bad)
+
+	if *events {
+		if err := vs.Close(); err != nil { // release the manifest so the engine can open it
+			return err
+		}
+		if err := dumpEngineState(fs); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("all %d tables verified clean\n", v.NumFiles())
+	return nil
+}
+
+// dumpEngineState opens the engine on the directory — running the normal
+// recovery path, which replays the WAL — and prints the event trace that
+// open produced plus the live per-level statistics the engine computes.
+func dumpEngineState(fs vfs.FS) (err error) {
+	db, err := core.Open(fs, core.Config{})
+	if err != nil {
+		return fmt.Errorf("open engine: %w", err)
+	}
+	// Close syncs the WAL tail; its error is the dump's error when nothing
+	// else failed first.
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	fmt.Printf("\nengine event trace:\n")
+	evs := db.Events()
+	if len(evs) == 0 {
+		fmt.Printf("  (none: open scheduled no background work)\n")
+	}
+	for _, e := range evs {
+		fmt.Printf("  %s  %s\n", e.Time.Format("15:04:05.000"), e.String())
+	}
+
+	fmt.Printf("\nlive level stats:\n")
+	fmt.Printf("  %-6s %8s %8s %12s %12s %8s %8s %8s\n",
+		"level", "tables", "files", "bytes", "dead", "cmp-in", "cmp-out", "readamp")
+	for _, ls := range db.LevelStats() {
+		if ls.Tables == 0 && ls.CompactionsIn == 0 {
+			continue
+		}
+		fmt.Printf("  L%-5d %8d %8d %12s %12s %8d %8d %8d\n",
+			ls.Level, ls.Tables, ls.Files, fmtBytes(ls.Bytes), fmtBytes(ls.DeadBytes),
+			ls.CompactionsIn, ls.CompactionsOut, ls.ReadAmp)
+	}
 	return nil
 }
 

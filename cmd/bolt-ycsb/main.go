@@ -14,11 +14,48 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/bolt-lsm/bolt"
 	"github.com/bolt-lsm/bolt/internal/ycsb"
 )
+
+// startStatsLoop prints one engine stats line every interval until the
+// returned stop function runs; stop waits for the loop to exit so it is
+// safe to call immediately before closing the database.
+func startStatsLoop(db *bolt.DB, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var last bolt.Stats
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := db.Stats()
+				l0 := 0
+				if ls := db.LevelStats(); len(ls) > 0 {
+					l0 = ls[0].Tables
+				}
+				fmt.Printf("stats: writes=%d gets=%d fsyncs=%d(+%d) flushes=%d compactions=%d stall=%v l0=%d\n",
+					s.Writes, s.Gets, s.Fsyncs, s.Fsyncs-last.Fsyncs,
+					s.MemtableFlushes, s.Compactions,
+					s.StallTime.Round(time.Millisecond), l0)
+				last = s
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -96,19 +133,20 @@ func (a kv) Scan(start []byte, maxLen int) (int, error) {
 
 func run() (err error) {
 	var (
-		dir       = flag.String("db", "", "database directory (required for -storage disk)")
-		storage   = flag.String("storage", "disk", "disk | mem | sim")
-		profile   = flag.String("profile", "bolt", "leveldb | leveldb64 | hyper | rocks | pebbles | bolt | hyperbolt")
-		workload  = flag.String("workload", "LA", "first workload: LA, LE, A..F")
-		then      = flag.String("then", "", "comma-separated workloads to run after the first (e.g. A,B,C)")
-		ops       = flag.Int64("ops", 100_000, "operations for the first workload")
-		runOps    = flag.Int64("run-ops", 0, "operations for subsequent workloads (default ops/5)")
-		records   = flag.Int64("records", 0, "pre-existing record count (for non-load first workloads)")
-		valueSize = flag.Int("value-size", 1024, "value payload bytes")
-		threads   = flag.Int("threads", 4, "client threads")
-		dist      = flag.String("dist", "zipfian", "zipfian | uniform | latest")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		sync      = flag.Bool("sync", false, "sync WAL on every commit")
+		dir        = flag.String("db", "", "database directory (required for -storage disk)")
+		storage    = flag.String("storage", "disk", "disk | mem | sim")
+		profile    = flag.String("profile", "bolt", "leveldb | leveldb64 | hyper | rocks | pebbles | bolt | hyperbolt")
+		workload   = flag.String("workload", "LA", "first workload: LA, LE, A..F")
+		then       = flag.String("then", "", "comma-separated workloads to run after the first (e.g. A,B,C)")
+		ops        = flag.Int64("ops", 100_000, "operations for the first workload")
+		runOps     = flag.Int64("run-ops", 0, "operations for subsequent workloads (default ops/5)")
+		records    = flag.Int64("records", 0, "pre-existing record count (for non-load first workloads)")
+		valueSize  = flag.Int("value-size", 1024, "value payload bytes")
+		threads    = flag.Int("threads", 4, "client threads")
+		dist       = flag.String("dist", "zipfian", "zipfian | uniform | latest")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		sync       = flag.Bool("sync", false, "sync WAL on every commit")
+		statsEvery = flag.Duration("stats-every", 0, "print an engine stats line at this interval during the run (0 disables)")
 	)
 	flag.Parse()
 
@@ -163,6 +201,9 @@ func run() (err error) {
 			err = cerr
 		}
 	}()
+	if *statsEvery > 0 {
+		defer startStatsLoop(db, *statsEvery)()
+	}
 
 	workloads := []ycsb.Workload{first}
 	if *then != "" {

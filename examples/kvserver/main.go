@@ -14,6 +14,12 @@
 //
 //	go run ./examples/kvserver -addr :7700 &
 //	go run ./examples/kvserver -demo -addr :7700
+//
+// With -http the server also exposes an observability endpoint:
+//
+//	GET /metrics       engine metrics in Prometheus text format
+//	GET /events        recent engine events, one per line
+//	GET /debug/pprof/  standard Go profiling handlers
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -34,9 +42,10 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":7700", "listen / connect address")
-		dir  = flag.String("db", filepath.Join(os.TempDir(), "bolt-kvserver"), "database directory")
-		demo = flag.Bool("demo", false, "run the demo client instead of a server")
+		addr     = flag.String("addr", ":7700", "listen / connect address")
+		dir      = flag.String("db", filepath.Join(os.TempDir(), "bolt-kvserver"), "database directory")
+		demo     = flag.Bool("demo", false, "run the demo client instead of a server")
+		httpAddr = flag.String("http", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :7780)")
 	)
 	flag.Parse()
 	if *demo {
@@ -45,12 +54,36 @@ func main() {
 		}
 		return
 	}
-	if err := runServer(*addr, *dir); err != nil {
+	if err := runServer(*addr, *dir, *httpAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func runServer(addr, dir string) (err error) {
+// observabilityMux mounts the engine's observability surface: Prometheus
+// metrics, the event trace, and the standard pprof handlers.
+func observabilityMux(db *bolt.DB) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := db.WriteMetrics(w); err != nil {
+			log.Printf("kvserver: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range db.Events() {
+			fmt.Fprintln(w, e.String())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func runServer(addr, dir, httpAddr string) (err error) {
 	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT})
 	if err != nil {
 		return err
@@ -66,6 +99,20 @@ func runServer(addr, dir string) (err error) {
 		return err
 	}
 	log.Printf("kvserver: serving %s on %s", dir, addr)
+
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		defer hln.Close()
+		log.Printf("kvserver: observability on http://%s/{metrics,events,debug/pprof}", hln.Addr())
+		go func() {
+			if serr := http.Serve(hln, observabilityMux(db)); serr != nil {
+				log.Printf("kvserver: http server stopped: %v", serr)
+			}
+		}()
+	}
 
 	// Graceful shutdown on interrupt: stop accepting, wait for handlers.
 	stop := make(chan os.Signal, 1)

@@ -227,6 +227,7 @@ func RunSequence(o *bolt.Options, s Scale, dist ycsb.Distribution, only map[ycsb
 		if err != nil {
 			return nil, err
 		}
+		stopStats := watchStats(db, o.Profile.String())
 		kv := &kvAdapter{db: db}
 		records := int64(0)
 		prev := db.Stats()
@@ -246,6 +247,7 @@ func RunSequence(o *bolt.Options, s Scale, dist ycsb.Distribution, only map[ycsb
 			}
 			res, err := ycsb.Run(kv, cfg)
 			if err != nil {
+				stopStats()
 				_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 				return nil, fmt.Errorf("bench: %s on %s: %w", w, o.Profile, err)
 			}
@@ -266,6 +268,7 @@ func RunSequence(o *bolt.Options, s Scale, dist ycsb.Distribution, only map[ycsb
 		if groupIdx == 0 {
 			out.FinalStats = db.Stats()
 		}
+		stopStats()
 		if err := db.Close(); err != nil {
 			return nil, err
 		}

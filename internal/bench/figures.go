@@ -93,11 +93,13 @@ func Fig6(p Params) error {
 		if err != nil {
 			return err
 		}
+		stopStats := watchStats(db, fmt.Sprintf("fig6-%dMB", mb))
 		kv := &kvAdapter{db: db}
 		if _, err := ycsb.Run(kv, ycsb.RunConfig{
 			Workload: ycsb.LoadA, Ops: loadOps,
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 1,
 		}); err != nil {
+			stopStats()
 			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
@@ -105,6 +107,7 @@ func Fig6(p Params) error {
 		// measurement (the paper submits its 1M point queries against a
 		// settled database).
 		if err := db.WaitIdle(); err != nil {
+			stopStats()
 			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
@@ -115,6 +118,7 @@ func Fig6(p Params) error {
 			Threads: p.Scale.Threads, ValueSize: p.Scale.ValueSize, Seed: 2,
 		})
 		if err != nil {
+			stopStats()
 			_ = db.Close() //boltvet:ignore errflow -- best-effort close on the error path; the run error is returned
 			return err
 		}
@@ -125,6 +129,7 @@ func Fig6(p Params) error {
 			after.TableCacheMisses-before.TableCacheMisses,
 			fmtBytes(after.MetaBytesRead-before.MetaBytesRead),
 			res.Throughput, fmtLatencyRow(res.Read))
+		stopStats()
 		if err := db.Close(); err != nil {
 			return err
 		}

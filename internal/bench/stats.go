@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/bolt-lsm/bolt"
+)
+
+// StatsEvery, when positive, makes every benchmark database print one
+// engine stats line to StatsOut at that interval while it is open — the
+// library-side hook behind bolt-bench's -stats-every flag. StatsOut
+// defaults to stderr so the periodic lines interleave with, but do not
+// corrupt, the figure data written to stdout.
+var (
+	StatsEvery time.Duration
+	StatsOut   io.Writer = os.Stderr
+)
+
+// watchStats starts the periodic stats reporter for db when StatsEvery is
+// set. The returned stop function is idempotent and waits for the reporter
+// to exit, so it is safe to call immediately before db.Close.
+func watchStats(db *bolt.DB, label string) (stop func()) {
+	if StatsEvery <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(StatsEvery)
+		defer tick.Stop()
+		var last bolt.Stats
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := db.Stats()
+				l0 := 0
+				if ls := db.LevelStats(); len(ls) > 0 {
+					l0 = ls[0].Tables
+				}
+				fmt.Fprintf(StatsOut,
+					"stats[%s]: writes=%d gets=%d fsyncs=%d(+%d) flushes=%d compactions=%d stall=%v l0=%d\n",
+					label, s.Writes, s.Gets, s.Fsyncs, s.Fsyncs-last.Fsyncs,
+					s.MemtableFlushes, s.Compactions,
+					s.StallTime.Round(time.Millisecond), l0)
+				last = s
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

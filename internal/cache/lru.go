@@ -17,14 +17,21 @@ import (
 )
 
 // lru is a mutex-guarded LRU map with per-entry charges and an eviction
-// callback, shared by the concrete caches.
+// callback, shared by the concrete caches. Eviction callbacks always run
+// with mu released, and every value that enters the cache is handed to
+// onEvict exactly once on its way out — whether it is evicted by
+// capacity, displaced by an insert on its key, removed, or cleared.
 type lru[K comparable, V any] struct {
-	mu       sync.Mutex
+	// capacity and onEvict are immutable after newLRU.
 	capacity int64
-	used     int64
-	entries  map[K]*list.Element
-	order    *list.List // front = most recent
 	onEvict  func(K, V)
+
+	// mu guards the map/list state below.
+	mu      sync.Mutex
+	used    int64
+	entries map[K]*list.Element
+	order   *list.List // front = most recent
+	closed  bool
 
 	hits, misses int64
 }
@@ -57,12 +64,25 @@ func (c *lru[K, V]) get(key K) (V, bool) {
 	return zero, false
 }
 
+// insert adds or replaces the entry for key. A value displaced by a
+// same-key replacement is evicted through onEvict like any other — the
+// fd/table caches hold a reference on behalf of each resident value, so
+// silently dropping the old one would leak its descriptor. Inserting into
+// a closed cache evicts value immediately instead of retaining it.
 func (c *lru[K, V]) insert(key K, value V, charge int64) {
 	var evicted []*lruEntry[K, V]
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if c.onEvict != nil {
+			c.onEvict(key, value)
+		}
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		old := el.Value.(*lruEntry[K, V])
 		c.used -= old.charge
+		evicted = append(evicted, &lruEntry[K, V]{key: old.key, value: old.value, charge: old.charge})
 		old.value = value
 		old.charge = charge
 		c.used += charge
@@ -122,9 +142,12 @@ func (c *lru[K, V]) stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
-// clear evicts everything.
+// clear evicts everything and closes the cache: later inserts evict their
+// value immediately instead of retaining it, so a racing miss that
+// completes after Close cannot strand a referenced entry.
 func (c *lru[K, V]) clear() {
 	c.mu.Lock()
+	c.closed = true
 	var all []*lruEntry[K, V]
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		all = append(all, el.Value.(*lruEntry[K, V]))

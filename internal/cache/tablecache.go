@@ -37,6 +37,17 @@ func (e *fdEntry) release() {
 	}
 }
 
+// fdCall is one in-flight descriptor open shared by every goroutine that
+// missed on the same physical file while it was being opened.
+type fdCall struct {
+	done chan struct{}
+	// waiters is written under FDCache.mu before done is closed; the
+	// leader pre-acquires one reference per waiter at publish time.
+	waiters int
+	e       *fdEntry
+	err     error
+}
+
 // FDCache caches open physical-file handles keyed by physical file number.
 // This is BoLT's +FC element: with compaction files, many logical SSTables
 // share one descriptor, so the filesystem open cost is paid once per
@@ -44,11 +55,15 @@ func (e *fdEntry) release() {
 type FDCache struct {
 	fs  vfs.FS
 	lru *lru[uint64, *fdEntry]
+
+	// mu guards the singleflight state below.
+	mu       sync.Mutex
+	inflight map[uint64]*fdCall
 }
 
 // NewFDCache returns an fd cache over fs holding up to capacity handles.
 func NewFDCache(fs vfs.FS, capacity int) *FDCache {
-	c := &FDCache{fs: fs}
+	c := &FDCache{fs: fs, inflight: make(map[uint64]*fdCall)}
 	c.lru = newLRU[uint64, *fdEntry](int64(capacity), func(_ uint64, e *fdEntry) {
 		e.release() // drop the cache's own reference
 	})
@@ -57,18 +72,57 @@ func NewFDCache(fs vfs.FS, capacity int) *FDCache {
 
 // Acquire returns a referenced handle for physical file physNum, opening
 // it on miss. Callers must call release (via the returned entry) when done.
+// Concurrent misses on the same file are coalesced into one open: exactly
+// one goroutine touches the filesystem, the rest wait and share its handle.
 func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 	if e, ok := c.lru.get(physNum); ok {
 		e.acquire()
 		return e, nil
 	}
+	c.mu.Lock()
+	if call, ok := c.inflight[physNum]; ok {
+		call.waiters++
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		// The leader acquired this waiter's reference before publishing.
+		return call.e, nil
+	}
+	if e, ok := c.lru.get(physNum); ok {
+		// A previous flight completed between the miss and taking mu.
+		c.mu.Unlock()
+		e.acquire()
+		return e, nil
+	}
+	call := &fdCall{done: make(chan struct{})}
+	c.inflight[physNum] = call
+	c.mu.Unlock()
+
 	f, err := c.fs.Open(manifest.TableFileName(physNum))
 	if err != nil {
-		return nil, fmt.Errorf("cache: open table file %d: %w", physNum, err)
+		call.err = fmt.Errorf("cache: open table file %d: %w", physNum, err)
+		c.mu.Lock()
+		delete(c.inflight, physNum)
+		c.mu.Unlock()
+		close(call.done)
+		return nil, call.err
 	}
 	e := &fdEntry{file: f, refs: 1} // the cache's reference
 	e.acquire()                     // the caller's reference
 	c.lru.insert(physNum, e, 1)
+	call.e = e
+	c.mu.Lock()
+	delete(c.inflight, physNum)
+	waiters := call.waiters
+	c.mu.Unlock()
+	// No waiter can join after the delete above, so the count is final;
+	// the leader's own reference keeps e open while these are taken.
+	for i := 0; i < waiters; i++ {
+		e.acquire()
+	}
+	close(call.done)
 	return e, nil
 }
 
@@ -106,17 +160,33 @@ type TableCache struct {
 	cfg        sstable.Config
 	lru        *lru[uint64, *Table]
 
+	// mu guards the singleflight and miss-accounting state below.
+	mu       sync.Mutex
+	inflight map[uint64]*tableCall
 	// metaBytesRead accumulates the bytes of filter+index fetched on
-	// misses — the metadata-caching overhead measured in Figure 6.
-	mu            sync.Mutex
+	// misses — the metadata-caching overhead measured in Figure 6. The
+	// singleflight path charges it once per actual read, not once per
+	// racing caller.
 	metaBytesRead int64
+}
+
+// tableCall is one in-flight table open shared by every goroutine that
+// missed on the same table number while its metadata was being read.
+type tableCall struct {
+	done chan struct{}
+	// waiters is written under TableCache.mu before done is closed; the
+	// leader pre-acquires one fd reference per waiter at publish time.
+	waiters int
+	r       *sstable.Reader
+	fd      *fdEntry
+	err     error
 }
 
 // NewTableCache returns a table cache holding up to capacity tables.
 // fdCache may be nil (the +FC optimization disabled): each cached table
 // then owns a private descriptor opened at miss time.
 func NewTableCache(fs vfs.FS, capacity int, fdCache *FDCache, blockCache sstable.BlockCache, cfg sstable.Config) *TableCache {
-	c := &TableCache{fs: fs, fdCache: fdCache, blockCache: blockCache, cfg: cfg}
+	c := &TableCache{fs: fs, fdCache: fdCache, blockCache: blockCache, cfg: cfg, inflight: make(map[uint64]*tableCall)}
 	c.lru = newLRU[uint64, *Table](int64(capacity), func(_ uint64, t *Table) {
 		t.close()
 	})
@@ -127,11 +197,63 @@ func NewTableCache(fs vfs.FS, capacity int, fdCache *FDCache, blockCache sstable
 // called once the caller is done (including after closing any iterator
 // built on the reader). The release reference keeps the underlying file
 // descriptor open even if the table is evicted from the cache meanwhile.
+// Concurrent misses on the same table coalesce into one metadata read:
+// exactly one goroutine opens the descriptor and reads filter+index, the
+// rest wait and share the resulting reader.
 func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), error) {
 	if t, ok := c.lru.get(meta.Num); ok {
 		t.fd.acquire()
 		return t.Reader, t.fd.release, nil
 	}
+	c.mu.Lock()
+	if call, ok := c.inflight[meta.Num]; ok {
+		call.waiters++
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, nil, call.err
+		}
+		// The leader acquired this waiter's fd reference before publishing.
+		return call.r, call.fd.release, nil
+	}
+	if t, ok := c.lru.get(meta.Num); ok {
+		// A previous flight completed between the miss and taking mu.
+		c.mu.Unlock()
+		t.fd.acquire()
+		return t.Reader, t.fd.release, nil
+	}
+	call := &tableCall{done: make(chan struct{})}
+	c.inflight[meta.Num] = call
+	c.mu.Unlock()
+
+	r, fd, err := c.openTable(meta)
+	if err != nil {
+		call.err = err
+		c.mu.Lock()
+		delete(c.inflight, meta.Num)
+		c.mu.Unlock()
+		close(call.done)
+		return nil, nil, err
+	}
+	fd.acquire() // the caller's reference
+	c.lru.insert(meta.Num, &Table{Reader: r, fd: fd}, 1)
+	call.r, call.fd = r, fd
+	c.mu.Lock()
+	delete(c.inflight, meta.Num)
+	waiters := call.waiters
+	c.mu.Unlock()
+	// No waiter can join after the delete above, so the count is final;
+	// the leader's own reference keeps fd open while these are taken.
+	for i := 0; i < waiters; i++ {
+		fd.acquire()
+	}
+	close(call.done)
+	return r, fd.release, nil
+}
+
+// openTable performs the miss work: one descriptor acquisition and one
+// filter+index metadata read, charged once to metaBytesRead.
+func (c *TableCache) openTable(meta *manifest.FileMeta) (*sstable.Reader, *fdEntry, error) {
 	var (
 		fd  *fdEntry
 		f   vfs.File
@@ -158,9 +280,7 @@ func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), erro
 	c.mu.Lock()
 	c.metaBytesRead += r.MetaSize()
 	c.mu.Unlock()
-	fd.acquire() // the caller's reference
-	c.lru.insert(meta.Num, &Table{Reader: r, fd: fd}, 1)
-	return r, fd.release, nil
+	return r, fd, nil
 }
 
 // Evict drops the cached reader for a table (called when the table is

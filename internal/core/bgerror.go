@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/bolt-lsm/bolt/internal/events"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 )
 
@@ -87,12 +88,16 @@ func (db *DB) retryOrDegradeLocked(fails *int, err error) bool {
 	}
 	if !errIsTransient(err) || *fails >= db.cfg.BgRetryLimit {
 		db.enterReadOnlyLocked(err)
+		db.mu.Unlock()
+		db.ev.Emit(events.Event{Type: events.TypeBgDegraded, Err: err.Error()})
+		db.mu.Lock()
 		return false
 	}
 	*fails++
 	db.met.BgRetries.Add(1)
 	delay := backoffDelay(db.cfg.BgRetryBaseDelay, db.cfg.BgRetryMaxDelay, *fails)
 	db.mu.Unlock()
+	db.ev.Emit(events.Event{Type: events.TypeBgRetry, Dur: delay, Err: err.Error()})
 	time.Sleep(delay)
 	db.mu.Lock()
 	return !db.bgStoppedLocked()

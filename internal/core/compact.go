@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/bolt-lsm/bolt/internal/compaction"
+	"github.com/bolt-lsm/bolt/internal/events"
 	"github.com/bolt-lsm/bolt/internal/iterator"
 	"github.com/bolt-lsm/bolt/internal/keys"
 	"github.com/bolt-lsm/bolt/internal/manifest"
@@ -286,8 +288,11 @@ func (db *DB) flushLocked() error {
 	imm := db.imm
 	logNum := db.walNum // stable: imm != nil blocks further switches
 	db.met.MemtableFlushes.Add(1)
+	start := time.Now()
+	fsyncsBefore := db.io.Fsyncs.Load()
 
 	db.mu.Unlock()
+	db.ev.Emit(events.Event{Type: events.TypeFlushStart, BytesIn: imm.ApproximateSize()})
 	metas, err := db.writeTables(imm.NewIter(), 0)
 	db.mu.Lock()
 	if err != nil {
@@ -302,10 +307,14 @@ func (db *DB) flushLocked() error {
 	if err := db.logAndApplyLocked(edit); err != nil {
 		return fmt.Errorf("core: flush commit: %w", err)
 	}
+	var outBytes int64
 	for _, m := range metas {
 		db.physRefs[m.PhysNum]++
+		outBytes += m.Size
 	}
 	db.met.TablesCreated.Add(int64(len(metas)))
+	db.met.LevelCompactionsIn[0].Add(1)
+	db.met.LevelBytesWritten[0].Add(outBytes)
 	db.imm = nil
 
 	logs := db.obsoleteLogs
@@ -314,6 +323,13 @@ func (db *DB) flushLocked() error {
 	for _, num := range logs {
 		_ = db.fs.Remove(manifest.LogFileName(num))
 	}
+	db.ev.Emit(events.Event{
+		Type:     events.TypeFlushEnd,
+		Outputs:  len(metas),
+		BytesOut: outBytes,
+		Barriers: db.io.Fsyncs.Load() - fsyncsBefore,
+		Dur:      time.Since(start),
+	})
 	db.mu.Lock()
 	db.verifyInvariantsLocked()
 	db.maybeScheduleWorkLocked()
@@ -330,16 +346,33 @@ func (db *DB) compactLocked(c *compaction.Compaction) error {
 	v.Ref() // pin input tables for the duration
 	smallestSnap := db.smallestSnapshotLocked()
 	dropTombstones := db.canDropTombstonesLocked(v, c)
+	start := time.Now()
+	fsyncsBefore := db.io.Fsyncs.Load()
+	var levelBytes, nextBytes int64
+	for _, f := range c.Inputs {
+		levelBytes += f.Size
+	}
+	for _, f := range c.NextInputs {
+		nextBytes += f.Size
+	}
 
 	var (
 		metas []*manifest.FileMeta
 		err   error
 	)
+	db.mu.Unlock()
+	db.ev.Emit(events.Event{
+		Type:        events.TypeCompactionStart,
+		Level:       c.Level,
+		OutputLevel: c.OutputLevel,
+		Inputs:      len(c.Inputs) + len(c.NextInputs),
+		BytesIn:     levelBytes + nextBytes,
+		Reason:      c.Reason,
+	})
 	if len(c.Inputs)+len(c.NextInputs) > 0 {
-		db.mu.Unlock()
 		metas, err = db.writeCompactionTables(c, smallestSnap, dropTombstones)
-		db.mu.Lock()
 	}
+	db.mu.Lock()
 	v.Unref()
 	if err != nil {
 		return fmt.Errorf("core: compaction: %w", err)
@@ -372,23 +405,50 @@ func (db *DB) compactLocked(c *compaction.Compaction) error {
 		return fmt.Errorf("core: compaction commit: %w", err)
 	}
 
-	for _, m := range metas {
-		db.physRefs[m.PhysNum]++
-	}
 	var outBytes int64
 	for _, m := range metas {
+		db.physRefs[m.PhysNum]++
 		outBytes += m.Size
 	}
 	db.met.CompactionBytesIn.Add(c.InputBytes())
 	db.met.CompactionBytesOut.Add(outBytes)
 	db.met.TablesCreated.Add(int64(len(metas)))
 	db.met.SettledPromotions.Add(int64(len(c.Settled)))
+	db.met.LevelCompactionsOut[c.Level].Add(1)
+	db.met.LevelCompactionsIn[c.OutputLevel].Add(1)
+	db.met.LevelBytesRead[c.Level].Add(levelBytes)
+	db.met.LevelBytesRead[c.OutputLevel].Add(nextBytes)
+	db.met.LevelBytesWritten[c.OutputLevel].Add(outBytes)
 
 	db.zombies = append(db.zombies, c.Inputs...)
 	db.zombies = append(db.zombies, c.NextInputs...)
-	db.reclaimZombiesLocked()
+	fallbacks := db.reclaimZombiesLocked()
 	db.verifyInvariantsLocked()
 	db.maybeScheduleWorkLocked()
+
+	barriers := db.io.Fsyncs.Load() - fsyncsBefore
+	db.mu.Unlock()
+	db.ev.Emit(events.Event{
+		Type:        events.TypeCompactionEnd,
+		Level:       c.Level,
+		OutputLevel: c.OutputLevel,
+		Outputs:     len(metas),
+		BytesOut:    outBytes,
+		Barriers:    barriers,
+		Dur:         time.Since(start),
+	})
+	if len(c.Settled) > 0 {
+		db.ev.Emit(events.Event{
+			Type:        events.TypeSettledPromotion,
+			Level:       c.Level,
+			OutputLevel: c.OutputLevel,
+			Outputs:     len(c.Settled),
+		})
+	}
+	for _, e := range fallbacks {
+		db.ev.Emit(e)
+	}
+	db.mu.Lock()
 	return nil
 }
 
@@ -536,10 +596,13 @@ func (db *DB) logAndApplyLocked(edit *manifest.VersionEdit) error {
 // version: whole physical files are unlinked; dead logical SSTables inside
 // still-live compaction files get their byte ranges hole-punched, without
 // any barrier (the BoLT space-reclamation path). Called with mu held;
-// releases it for the file operations.
-func (db *DB) reclaimZombiesLocked() {
+// releases it for the file operations. Successful punches emit their
+// events directly (mu is released there); fallback events are returned for
+// the caller to emit in its own unlock window, because the fallback
+// decision is only final after the post-relock liveness re-check.
+func (db *DB) reclaimZombiesLocked() []events.Event {
 	if len(db.zombies) == 0 {
-		return
+		return nil
 	}
 	live := db.vs.LiveTables()
 	var keep []*manifest.FileMeta
@@ -571,7 +634,7 @@ func (db *DB) reclaimZombiesLocked() {
 	db.zombies = keep
 
 	if len(punches) == 0 && len(removals) == 0 {
-		return
+		return nil
 	}
 	db.mu.Unlock()
 	for _, num := range removals {
@@ -591,20 +654,26 @@ func (db *DB) reclaimZombiesLocked() {
 			switch {
 			case perr == nil:
 				db.met.HolePunches.Add(1)
+				db.ev.Emit(events.Event{Type: events.TypeHolePunch, File: p.phys, BytesOut: p.size})
 			case errors.Is(perr, vfs.ErrPunchHoleUnsupported) || errors.Is(perr, vfs.ErrReadOnly):
 				fallbacks = append(fallbacks, p)
 			}
 		}
 	}
 	db.mu.Lock()
+	var fallbackEvents []events.Event
 	for _, p := range fallbacks {
 		// Re-check liveness: the file may have been removed while mu was
 		// released, in which case its dead ranges vanished with it.
 		if _, live := db.physRefs[p.phys]; live {
 			db.deadRanges[p.phys] = append(db.deadRanges[p.phys], deadRange{p.off, p.size})
 			db.met.HolePunchFallbacks.Add(1)
+			fallbackEvents = append(fallbackEvents, events.Event{
+				Type: events.TypeHolePunchFallback, File: p.phys, BytesOut: p.size,
+			})
 		}
 	}
+	return fallbackEvents
 }
 
 // verifyInvariantsLocked re-checks the version layout when the test hook

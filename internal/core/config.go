@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"github.com/bolt-lsm/bolt/internal/events"
 )
 
 // Config parameterizes the engine. ApplyDefaults fills zero fields.
@@ -108,6 +110,18 @@ type Config struct {
 	// BgRetryMaxDelay caps the exponential backoff (default 250ms).
 	BgRetryMaxDelay time.Duration
 
+	// --- Observability ---
+
+	// EventLogSize is the capacity of the in-memory ring buffer retaining
+	// recent engine events (flushes, compactions, stalls, WAL rotations,
+	// background-error handling). Zero selects the default (512).
+	EventLogSize int
+	// EventListener, when non-nil, receives every engine event
+	// synchronously as it is emitted. The callback runs with no engine
+	// lock held — it may call back into the DB — but it runs on the
+	// emitting goroutine, so a slow listener slows background work.
+	EventListener events.Listener
+
 	// --- Testing hooks ---
 
 	// VerifyInvariants re-checks version invariants after every flush and
@@ -161,6 +175,9 @@ func (c *Config) ApplyDefaults() {
 	}
 	if c.BgRetryMaxDelay <= 0 {
 		c.BgRetryMaxDelay = 250 * time.Millisecond
+	}
+	if c.EventLogSize <= 0 {
+		c.EventLogSize = 512
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/batch"
 	"github.com/bolt-lsm/bolt/internal/cache"
 	"github.com/bolt-lsm/bolt/internal/compaction"
+	"github.com/bolt-lsm/bolt/internal/events"
 	"github.com/bolt-lsm/bolt/internal/keys"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/memtable"
@@ -33,6 +34,9 @@ type DB struct {
 	fs  vfs.FS // counting-wrapped
 	io  *IOCounters
 	met *metrics.Metrics
+	// ev is the engine event trace. Emissions happen only while mu is NOT
+	// held, so the user listener never runs under the engine mutex.
+	ev *events.Log
 
 	blockCache *cache.BlockCache
 	fdCache    *cache.FDCache
@@ -99,6 +103,7 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		cfg:        cfg,
 		io:         &IOCounters{},
 		met:        &metrics.Metrics{},
+		ev:         events.NewLog(cfg.EventLogSize, cfg.EventListener),
 		mem:        memtable.New(),
 		snapshots:  list.New(),
 		physRefs:   make(map[uint64]int),

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"io"
+
+	"github.com/bolt-lsm/bolt/internal/events"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/metrics"
+)
+
+// Events returns the retained engine event trace, oldest first. The ring
+// holds the most recent Config.EventLogSize events; use Config.EventListener
+// to observe every event without loss.
+func (db *DB) Events() []events.Event { return db.ev.Events() }
+
+// LevelStats reports the live shape of the tree: per level, the layout
+// read from the current version (files, tables, bytes, dead bytes, read
+// amplification) joined with the cumulative per-level compaction counters.
+func (db *DB) LevelStats() []metrics.LevelStats {
+	db.mu.Lock()
+	v := db.vs.Current()
+	v.Ref()
+	// Dead ranges are keyed by physical file; total them here so the
+	// per-level attribution below needs no lock.
+	deadByPhys := make(map[uint64]int64, len(db.deadRanges))
+	for phys, ranges := range db.deadRanges {
+		for _, r := range ranges {
+			deadByPhys[phys] += r.size
+		}
+	}
+	db.mu.Unlock()
+	defer v.Unref()
+
+	s := db.met.Snapshot()
+	userBytes := s.BytesIn
+	if userBytes < 1 {
+		userBytes = 1
+	}
+
+	// A physical file with dead ranges is attributed to the deepest level
+	// still referencing it: compaction moves data down, so that is where
+	// the live remainder of the compaction file sits.
+	deadLevel := make(map[uint64]int, len(deadByPhys))
+	for level := 0; level < manifest.NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			if _, ok := deadByPhys[f.PhysNum]; ok {
+				deadLevel[f.PhysNum] = level
+			}
+		}
+	}
+
+	out := make([]metrics.LevelStats, manifest.NumLevels)
+	for level := 0; level < manifest.NumLevels; level++ {
+		files := v.Levels[level]
+		ls := metrics.LevelStats{
+			Level:          level,
+			Tables:         len(files),
+			CompactionsIn:  s.LevelCompactionsIn[level],
+			CompactionsOut: s.LevelCompactionsOut[level],
+			BytesRead:      s.LevelBytesRead[level],
+			BytesWritten:   s.LevelBytesWritten[level],
+			WriteAmp:       float64(s.LevelBytesWritten[level]) / float64(userBytes),
+		}
+		phys := make(map[uint64]struct{}, len(files))
+		for _, f := range files {
+			ls.Bytes += f.Size
+			phys[f.PhysNum] = struct{}{}
+		}
+		ls.Files = len(phys)
+		for p := range phys {
+			if deadLevel[p] == level {
+				ls.DeadBytes += deadByPhys[p]
+			}
+		}
+		ls.ReadAmp = readAmp(db.cfg.Fragmented, level, files)
+		out[level] = ls
+	}
+	return out
+}
+
+// readAmp counts the sorted runs a point lookup may consult in one level:
+// every L0 table is its own run; a sorted deeper level is one run; a
+// fragmented (guard-partitioned) deeper level contributes its deepest
+// per-guard stack.
+func readAmp(fragmented bool, level int, files []*manifest.FileMeta) int {
+	switch {
+	case len(files) == 0:
+		return 0
+	case level == 0:
+		return len(files)
+	case !fragmented:
+		return 1
+	}
+	perGuard := make(map[string]int, len(files))
+	maxStack := 0
+	for _, f := range files {
+		g := string(f.Guard)
+		perGuard[g]++
+		if perGuard[g] > maxStack {
+			maxStack = perGuard[g]
+		}
+	}
+	return maxStack
+}
+
+// WriteMetrics renders the full metric surface — engine counters, latency
+// summaries, per-level stats, cache and file-level I/O counters — in the
+// Prometheus text exposition format.
+func (db *DB) WriteMetrics(w io.Writer) error {
+	p := metrics.NewPromWriter(w)
+	db.met.WriteProm(p)
+	p.Levels(db.LevelStats())
+
+	cs := db.CacheStats()
+	p.Counter("bolt_table_cache_hits_total", "TableCache hits.", cs.TableHits)
+	p.Counter("bolt_table_cache_misses_total", "TableCache misses.", cs.TableMisses)
+	p.Counter("bolt_table_cache_meta_bytes_total", "Filter+index bytes read on TableCache misses.", cs.MetaBytesRead)
+	p.Counter("bolt_block_cache_hits_total", "BlockCache hits.", cs.BlockHits)
+	p.Counter("bolt_block_cache_misses_total", "BlockCache misses.", cs.BlockMisses)
+	if db.fdCache != nil {
+		fh, fm := db.fdCache.Stats()
+		p.Counter("bolt_fd_cache_hits_total", "FD cache hits.", fh)
+		p.Counter("bolt_fd_cache_misses_total", "FD cache misses.", fm)
+	}
+
+	ios := db.io.Snapshot()
+	p.Counter("bolt_fsyncs_total", "Barriers (fsync/fdatasync) issued.", ios.Fsyncs)
+	p.Counter("bolt_io_bytes_written_total", "Bytes written at the file layer.", ios.BytesWritten)
+	p.Counter("bolt_io_bytes_read_total", "Bytes read at the file layer.", ios.BytesRead)
+	p.Counter("bolt_file_opens_total", "File opens.", ios.FileOpens)
+	p.Counter("bolt_file_creates_total", "File creates.", ios.FileCreates)
+	p.Counter("bolt_file_removes_total", "File removes.", ios.FileRemoves)
+
+	p.Gauge("bolt_dead_range_bytes", "Dead-but-unreclaimed bytes across all files.", float64(db.DeadRangeBytes()))
+	p.Counter("bolt_events_emitted_total", "Engine events emitted since open.", int64(db.ev.TotalEmitted()))
+	return p.Err()
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/bolt-lsm/bolt/internal/batch"
+	"github.com/bolt-lsm/bolt/internal/events"
 	"github.com/bolt-lsm/bolt/internal/keys"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/memtable"
@@ -224,8 +225,11 @@ func (db *DB) makeRoomForWrite() error {
 			db.met.StallSlowdown.Add(1)
 			db.mu.Unlock()
 			start := time.Now()
+			db.ev.Emit(events.Event{Type: events.TypeStallBegin, Reason: "l0-slowdown"})
 			time.Sleep(time.Millisecond)
-			db.met.AddStall(time.Since(start))
+			d := time.Since(start)
+			db.met.AddStall(d)
+			db.ev.Emit(events.Event{Type: events.TypeStallEnd, Reason: "l0-slowdown", Dur: d})
 			db.mu.Lock()
 
 		case db.mem.ApproximateSize() < db.cfg.MemTableBytes:
@@ -233,17 +237,11 @@ func (db *DB) makeRoomForWrite() error {
 
 		case db.imm != nil:
 			// Previous memtable still flushing.
-			db.met.StallStops.Add(1)
-			start := time.Now()
-			db.cond.Wait()
-			db.met.AddStall(time.Since(start))
+			db.stallOnCondLocked("memtable-full")
 
 		case db.cfg.L0StopTrigger > 0 && db.l0UnitsLocked() >= db.cfg.L0StopTrigger:
 			// L0Stop governor: block until compaction drains level 0.
-			db.met.StallStops.Add(1)
-			start := time.Now()
-			db.cond.Wait()
-			db.met.AddStall(time.Since(start))
+			db.stallOnCondLocked("l0-stop")
 
 		default:
 			// Switch to a fresh memtable and WAL.
@@ -260,22 +258,41 @@ func (db *DB) makeRoomForWrite() error {
 			db.mem = memtable.New()
 			db.met.MemtableSwitch.Add(1)
 			db.maybeScheduleWorkLocked()
+			db.mu.Unlock()
+			db.ev.Emit(events.Event{Type: events.TypeWALRotation, File: newLogNum})
+			db.mu.Lock()
 		}
 	}
+}
+
+// stallOnCondLocked blocks the leader on db.cond, accounting the stall and
+// emitting the stall-begin/end event pair. The pair is emitted
+// retroactively after the wait (begin carries the stall's start time):
+// emitting before the Wait would require an unlock window in which a
+// wake-up broadcast could be missed. The governor loop re-evaluates every
+// condition after the emission window, so the relock is safe.
+func (db *DB) stallOnCondLocked(cause string) {
+	db.met.StallStops.Add(1)
+	start := time.Now()
+	db.cond.Wait()
+	d := time.Since(start)
+	db.met.AddStall(d)
+	db.mu.Unlock()
+	db.ev.Emit(events.Event{Type: events.TypeStallBegin, Reason: cause, Time: start})
+	db.ev.Emit(events.Event{Type: events.TypeStallEnd, Reason: cause, Dur: d})
+	db.mu.Lock()
 }
 
 // l0UnitsLocked counts level-0 governor units: distinct physical files.
 // With BoLT compaction files one flush produces one physical file holding
 // many logical SSTables; counting physical files keeps the governor
-// semantics comparable with legacy layouts.
+// semantics comparable with legacy layouts. The count is precomputed on
+// the Version at install time, so the per-write governor check is
+// allocation-free.
 func (db *DB) l0UnitsLocked() int {
-	files := db.vs.Current().Levels[0]
+	v := db.vs.Current()
 	if !db.cfg.compactionFileMode() {
-		return len(files)
+		return len(v.Levels[0])
 	}
-	seen := make(map[uint64]struct{}, len(files))
-	for _, f := range files {
-		seen[f.PhysNum] = struct{}{}
-	}
-	return len(seen)
+	return v.L0PhysFiles()
 }

@@ -1,0 +1,170 @@
+package events
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogRingOrderAndWraparound(t *testing.T) {
+	l := NewLog(4, nil)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{Type: TypeWALRotation, File: uint64(i)})
+	}
+	got := l.Events()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		wantFile := uint64(6 + i)
+		wantSeq := uint64(7 + i)
+		if e.File != wantFile || e.Seq != wantSeq {
+			t.Fatalf("event %d: File=%d Seq=%d, want File=%d Seq=%d", i, e.File, e.Seq, wantFile, wantSeq)
+		}
+	}
+	if l.TotalEmitted() != 10 {
+		t.Fatalf("TotalEmitted=%d, want 10", l.TotalEmitted())
+	}
+	if l.Capacity() != 4 {
+		t.Fatalf("Capacity=%d, want 4", l.Capacity())
+	}
+}
+
+func TestLogPartialFill(t *testing.T) {
+	l := NewLog(8, nil)
+	l.Emit(Event{Type: TypeFlushStart})
+	l.Emit(Event{Type: TypeFlushEnd})
+	got := l.Events()
+	if len(got) != 2 {
+		t.Fatalf("retained %d events, want 2", len(got))
+	}
+	if got[0].Type != TypeFlushStart || got[1].Type != TypeFlushEnd {
+		t.Fatalf("wrong order: %v then %v", got[0].Type, got[1].Type)
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("Seq=%d,%d, want 1,2", got[0].Seq, got[1].Seq)
+	}
+	if got[0].Time.IsZero() {
+		t.Fatal("Emit did not stamp a zero Time")
+	}
+}
+
+func TestLogPreservesExplicitTime(t *testing.T) {
+	l := NewLog(2, nil)
+	stamp := time.Date(2024, 3, 1, 12, 0, 0, 0, time.UTC)
+	l.Emit(Event{Type: TypeStallBegin, Time: stamp})
+	if got := l.Events()[0].Time; !got.Equal(stamp) {
+		t.Fatalf("Time=%v, want %v", got, stamp)
+	}
+}
+
+func TestLogMinimumCapacity(t *testing.T) {
+	l := NewLog(0, nil)
+	l.Emit(Event{Type: TypeFlushStart})
+	l.Emit(Event{Type: TypeFlushEnd})
+	got := l.Events()
+	if len(got) != 1 || got[0].Type != TypeFlushEnd {
+		t.Fatalf("capacity-clamped log retained %v, want just flush-end", got)
+	}
+}
+
+func TestListenerReceivesEventsAndMayReenter(t *testing.T) {
+	var l *Log
+	var mu sync.Mutex
+	var seen []uint64
+	l = NewLog(4, func(e Event) {
+		// Re-entering the log from inside the listener must not deadlock:
+		// the ring mutex is released before the listener runs.
+		_ = l.Events()
+		_ = l.TotalEmitted()
+		mu.Lock()
+		seen = append(seen, e.Seq)
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		l.Emit(Event{Type: TypeBgRetry})
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("listener saw %d events, want 3", len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("listener saw Seq %d at position %d", s, i)
+		}
+	}
+}
+
+func TestLogConcurrentEmit(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+	l := NewLog(64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Emit(Event{Type: TypeHolePunch})
+				_ = l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.TotalEmitted(); got != goroutines*perG {
+		t.Fatalf("TotalEmitted=%d, want %d", got, goroutines*perG)
+	}
+	evs := l.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous Seq %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Seq: 1, Type: TypeCompactionStart, Level: 1, OutputLevel: 2, Inputs: 5, BytesIn: 1024, Reason: "size"},
+			[]string{"compaction-start", "L1->L2", "in=5 tables", "reason=size"}},
+		{Event{Seq: 2, Type: TypeCompactionEnd, Level: 1, OutputLevel: 2, Outputs: 3, BytesOut: 900, Barriers: 2, Dur: time.Millisecond},
+			[]string{"compaction-end", "out=3 tables", "barriers=2"}},
+		{Event{Seq: 3, Type: TypeStallEnd, Reason: "l0-stop", Dur: 5 * time.Millisecond},
+			[]string{"stall-end", "cause=l0-stop", "dur=5ms"}},
+		{Event{Seq: 4, Type: TypeHolePunch, File: 12, BytesOut: 4096},
+			[]string{"hole-punch", "phys=12", "4096B"}},
+		{Event{Seq: 5, Type: TypeBgDegraded, Err: "disk gone"},
+			[]string{"bg-degraded", "err=disk gone"}},
+		{Event{Seq: 6, Type: TypeWALRotation, File: 9},
+			[]string{"wal-rotation", "wal=9"}},
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, want := range c.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("%v.String() = %q, missing %q", c.e.Type, s, want)
+			}
+		}
+	}
+	if got := Type(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+// BenchmarkEmit proves the no-listener emission path allocates nothing.
+func BenchmarkEmit(b *testing.B) {
+	l := NewLog(1024, nil)
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Emit(Event{Type: TypeCompactionEnd, Time: now, Level: 1, OutputLevel: 2, BytesOut: 1 << 20, Barriers: 2})
+	}
+}

@@ -78,6 +78,9 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest sample.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
 
+// Sum returns the total of all samples (the _sum of a Prometheus summary).
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
 // Quantile returns the q-th quantile (0 < q <= 1) as a duration.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	n := h.total.Load()

@@ -72,9 +72,19 @@ type Version struct {
 	// profiles deeper levels may also overlap (within a guard).
 	Levels [NumLevels][]*FileMeta
 
+	// l0PhysFiles is the number of distinct physical files backing level
+	// 0, computed once at construction: the write governors consult it on
+	// every governed write, so it must not cost an allocation there.
+	l0PhysFiles int
+
 	refs atomic.Int32
 	vs   *VersionSet
 }
+
+// L0PhysFiles returns the number of distinct physical files at level 0
+// (equal to the table count in legacy layouts, smaller with compaction
+// files).
+func (v *Version) L0PhysFiles() int { return v.l0PhysFiles }
 
 // Ref pins the version.
 func (v *Version) Ref() { v.refs.Add(1) }
@@ -195,6 +205,11 @@ func (b *versionBuilder) finish(vs *VersionSet) *Version {
 		}
 		v.Levels[level] = files
 	}
+	seen := make(map[uint64]struct{}, len(v.Levels[0]))
+	for _, f := range v.Levels[0] {
+		seen[f.PhysNum] = struct{}{}
+	}
+	v.l0PhysFiles = len(seen)
 	return v
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/bolt-lsm/bolt/internal/histogram"
+	"github.com/bolt-lsm/bolt/internal/manifest"
 )
 
 // Metrics is the live counter set of one DB instance.
@@ -39,6 +40,14 @@ type Metrics struct {
 	GetHits       atomic.Int64
 	TablesChecked atomic.Int64 // tables consulted across all gets
 	BloomSkips    atomic.Int64 // tables skipped by bloom filters
+
+	// Per-level compaction activity, indexed by level. A flush counts as
+	// a compaction into L0; an L(n)->L(n+1) compaction counts out of n and
+	// into n+1, with bytes attributed the same way.
+	LevelCompactionsIn  [manifest.NumLevels]atomic.Int64 // compactions that wrote into the level
+	LevelCompactionsOut [manifest.NumLevels]atomic.Int64 // compactions that read from the level
+	LevelBytesRead      [manifest.NumLevels]atomic.Int64 // compaction bytes read from the level
+	LevelBytesWritten   [manifest.NumLevels]atomic.Int64 // flush+compaction bytes written into the level
 
 	// Background-failure handling.
 	BgRetries            atomic.Int64 // flush/compaction attempts retried after a transient failure
@@ -81,6 +90,11 @@ type Snapshot struct {
 	TablesChecked int64
 	BloomSkips    int64
 
+	LevelCompactionsIn  [manifest.NumLevels]int64
+	LevelCompactionsOut [manifest.NumLevels]int64
+	LevelBytesRead      [manifest.NumLevels]int64
+	LevelBytesWritten   [manifest.NumLevels]int64
+
 	BgRetries            int64
 	BgRecoveredFaults    int64
 	ReadOnlyDegradations int64
@@ -89,6 +103,17 @@ type Snapshot struct {
 
 // Snapshot copies the scalar counters (histograms are read directly).
 func (m *Metrics) Snapshot() Snapshot {
+	s := m.snapshotScalars()
+	for l := 0; l < manifest.NumLevels; l++ {
+		s.LevelCompactionsIn[l] = m.LevelCompactionsIn[l].Load()
+		s.LevelCompactionsOut[l] = m.LevelCompactionsOut[l].Load()
+		s.LevelBytesRead[l] = m.LevelBytesRead[l].Load()
+		s.LevelBytesWritten[l] = m.LevelBytesWritten[l].Load()
+	}
+	return s
+}
+
+func (m *Metrics) snapshotScalars() Snapshot {
 	return Snapshot{
 		Writes:          m.Writes.Load(),
 		BytesIn:         m.BytesIn.Load(),

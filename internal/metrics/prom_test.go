@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	var m Metrics
+	m.Writes.Store(42)
+	m.Gets.Store(7)
+	m.LevelCompactionsIn[2].Add(3)
+	m.WriteLatency.Record(time.Millisecond)
+	m.WriteLatency.Record(2 * time.Millisecond)
+
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	m.WriteProm(p)
+	p.Levels([]LevelStats{
+		{Level: 0, Files: 2, Tables: 4, Bytes: 1 << 20, ReadAmp: 4},
+		{Level: 1, Files: 1, Tables: 8, Bytes: 4 << 20, ReadAmp: 1, WriteAmp: 1.5},
+	})
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE bolt_writes_total counter",
+		"bolt_writes_total 42",
+		"bolt_gets_total 7",
+		"# TYPE bolt_write_latency_seconds summary",
+		`bolt_write_latency_seconds{quantile="0.99"}`,
+		"bolt_write_latency_seconds_count 2",
+		"bolt_write_latency_seconds_sum 0.003",
+		`bolt_level_bytes{level="0"} 1.048576e+06`,
+		`bolt_level_tables{level="1"} 8`,
+		`bolt_level_write_amp{level="1"} 1.5`,
+		`bolt_level_read_amp{level="0"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshotCopiesLevelCounters(t *testing.T) {
+	var m Metrics
+	m.LevelBytesWritten[1].Add(100)
+	m.LevelCompactionsOut[0].Add(2)
+	s := m.Snapshot()
+	if s.LevelBytesWritten[1] != 100 || s.LevelCompactionsOut[0] != 2 {
+		t.Fatalf("snapshot level counters: %+v", s)
+	}
+}
+
+type failWriter struct{ n int }
+
+var errFull = errors.New("full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 64 {
+		return 0, errFull
+	}
+	return len(p), nil
+}
+
+func TestPromWriterStickyError(t *testing.T) {
+	var m Metrics
+	p := NewPromWriter(&failWriter{})
+	m.WriteProm(p)
+	if !errors.Is(p.Err(), errFull) {
+		t.Fatalf("err = %v, want sticky write error", p.Err())
+	}
+}
