@@ -147,6 +147,13 @@ type Options struct {
 	// SyncWrites syncs the WAL on every commit (durable acknowledgements).
 	SyncWrites bool
 
+	// MaxBackgroundCompactions bounds the background compaction worker
+	// pool: up to this many compactions with disjoint inputs and
+	// non-overlapping output ranges run concurrently (L0->L1 stays
+	// exclusive). Zero selects the default min(4, NumCPU); negative
+	// selects 1, the serialized single-worker behaviour.
+	MaxBackgroundCompactions int
+
 	// Ablation switches (Figure 12): starting from a BoLT profile, disable
 	// individual elements. DisableGroupCompaction yields +LS,
 	// DisableSettled yields +GC, DisableFDCache yields +STL.
@@ -295,6 +302,7 @@ func (o *Options) coreConfig() core.Config {
 		c.BlockSize = o.BlockSize
 	}
 	c.SyncWAL = o.SyncWrites
+	c.MaxBackgroundCompactions = o.MaxBackgroundCompactions
 	c.VerifyInvariants = o.VerifyInvariants
 	c.EventLogSize = o.EventLogSize
 	if o.EventListener != nil {

@@ -73,6 +73,24 @@ func (o Options) IsGuard(userKey []byte, level int) bool {
 	return bits.TrailingZeros64(h.Sum64()) >= need
 }
 
+// Reason values describe what triggered a compaction. They appear in
+// events and map onto the per-reason metrics counters.
+const (
+	// ReasonL0 is an L0 file-count trigger.
+	ReasonL0 = "L0 file count"
+	// ReasonLevelSize is a level byte-size trigger.
+	ReasonLevelSize = "level size"
+	// ReasonSettled is a size trigger served by settled (min-overlap)
+	// selection.
+	ReasonSettled = "level size (settled)"
+	// ReasonFragmented is a size trigger served by an FLSM pile merge.
+	ReasonFragmented = "level size (fragmented)"
+	// ReasonSeek is LevelDB's read-triggered compaction.
+	ReasonSeek = "seek"
+	// ReasonManual is a CompactRange request.
+	ReasonManual = "manual"
+)
+
 // Compaction describes one unit of background work chosen by the picker.
 type Compaction struct {
 	// Level is the input level; OutputLevel is Level+1 except for
@@ -154,42 +172,152 @@ func (p *Picker) MaxScoreLevel(v *manifest.Version) (int, float64) {
 	return bestLevel, bestScore
 }
 
-// Pick returns the next compaction, or nil when no level is over
-// threshold. compactPointers carries the per-level round-robin cursors.
-func (p *Picker) Pick(v *manifest.Version, compactPointers func(level int) keys.InternalKey) *Compaction {
-	level, score := p.MaxScoreLevel(v)
-	if level < 0 || score < 1.0 {
+// Env carries the engine-owned pick-time state: the per-level round-robin
+// cursors, the in-flight reservation registry, and the pending
+// seek-compaction candidate (if any). The zero Env is valid for tests: no
+// cursors, no concurrency, no seek candidate.
+type Env struct {
+	// CompactPointer returns the round-robin cursor of a level; nil means
+	// no cursors (picking starts at the level's first table).
+	CompactPointer func(level int) keys.InternalKey
+	// InFlight holds the reservations of executing compactions; the picker
+	// never returns a compaction conflicting with them. Nil means empty.
+	InFlight *InFlight
+	// SeekFile, when non-nil, is a table whose seek budget ran out;
+	// SeekLevel is its level. The picker prefers it over score-based
+	// choices when it is still current and conflict-free.
+	SeekFile  *manifest.FileMeta
+	SeekLevel int
+}
+
+// Pick returns the next conflict-free compaction, or nil when nothing is
+// both over threshold and runnable. The seek candidate is tried first
+// (seek compactions fire below the size thresholds by design); then
+// levels are tried in descending score order, so a level whose candidates
+// are all reserved by in-flight work yields the next-best level instead
+// of no pick at all.
+func (p *Picker) Pick(v *manifest.Version, env Env) *Compaction {
+	if c := p.pickSeek(v, env); c != nil {
+		return c
+	}
+	for _, level := range p.levelsByScore(v) {
+		var c *Compaction
+		switch {
+		case p.Opts.Fragmented:
+			c = p.pickFragmented(v, level, env.InFlight)
+		case level == 0:
+			c = p.pickL0(v)
+		case p.Opts.Settled:
+			c = p.pickSettled(v, level, env.InFlight)
+		default:
+			var pointer keys.InternalKey
+			if env.CompactPointer != nil {
+				pointer = env.CompactPointer(level)
+			}
+			c = p.pickLeveled(v, level, pointer, env.InFlight)
+		}
+		if c != nil && !env.InFlight.Conflicts(c) {
+			return c
+		}
+	}
+	return nil
+}
+
+// levelsByScore returns the levels at or over compaction threshold,
+// highest score first. The last level never compacts downward.
+func (p *Picker) levelsByScore(v *manifest.Version) []int {
+	type scored struct {
+		level int
+		score float64
+	}
+	var over []scored
+	for level := 0; level < manifest.NumLevels-1; level++ {
+		if s := p.Score(v, level); s >= 1.0 {
+			over = append(over, scored{level, s})
+		}
+	}
+	sort.SliceStable(over, func(i, j int) bool { return over[i].score > over[j].score })
+	levels := make([]int, len(over))
+	for i, s := range over {
+		levels[i] = s.level
+	}
+	return levels
+}
+
+// pickSeek builds the compaction for a pending seek candidate, or nil when
+// the candidate is stale (no longer in the version), inapplicable (last
+// level, fragmented profile), or conflicting with in-flight work.
+func (p *Picker) pickSeek(v *manifest.Version, env Env) *Compaction {
+	f := env.SeekFile
+	if f == nil || p.Opts.Fragmented || env.SeekLevel >= manifest.NumLevels-1 {
 		return nil
 	}
-	if p.Opts.Fragmented {
-		return p.pickFragmented(v, level)
+	level := env.SeekLevel
+	current := false
+	for _, cur := range v.Levels[level] {
+		if cur == f {
+			current = true
+			break
+		}
+	}
+	if !current {
+		return nil
+	}
+	c := &Compaction{
+		Level:       level,
+		OutputLevel: level + 1,
+		Inputs:      []*manifest.FileMeta{f},
+		Reason:      ReasonSeek,
 	}
 	if level == 0 {
-		return p.pickL0(v)
+		// Level-0 files overlap each other: compacting one without its
+		// overlapping siblings would leave older versions above newer
+		// ones. Expand to the overlap closure, as LevelDB does.
+		c.Inputs = L0OverlapClosure(v.Levels[0], f)
 	}
-	if p.Opts.Settled {
-		return p.pickSettled(v, level)
+	smallest, largest := c.Range()
+	c.NextInputs = v.Overlaps(level+1, smallest, largest)
+	if env.InFlight.Conflicts(c) {
+		return nil
 	}
-	return p.pickLeveled(v, level, compactPointers(level))
+	return c
 }
 
 // pickL0 merges all level-0 tables with their level-1 overlaps. L0 tables
 // overlap each other, so taking them all at once is both simplest and what
 // a 64 MB-memtable configuration wants (the whole flush burst moves down
-// in one barrier-cheap compaction under BoLT).
+// in one barrier-cheap compaction under BoLT). No reservation filtering
+// happens here: any in-flight L0 compaction excludes the whole level (the
+// L0-exclusivity conflict rule), so a partial pick could never run anyway.
 func (p *Picker) pickL0(v *manifest.Version) *Compaction {
-	c := &Compaction{Level: 0, OutputLevel: 1, Reason: "L0 file count"}
+	c := &Compaction{Level: 0, OutputLevel: 1, Reason: ReasonL0}
 	c.Inputs = append(c.Inputs, v.Levels[0]...)
 	smallest, largest := c.Range()
 	c.NextInputs = v.Overlaps(1, smallest, largest)
 	return c
 }
 
+// unreservedFiles returns files minus the tables reserved by in-flight
+// compactions (the input slice when nothing is reserved).
+func unreservedFiles(files []*manifest.FileMeta, in *InFlight) []*manifest.FileMeta {
+	if in.Len() == 0 {
+		return files
+	}
+	out := make([]*manifest.FileMeta, 0, len(files))
+	for _, f := range files {
+		if !in.FileReserved(f.Num) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // pickLeveled implements classic and group selection: victims are taken in
 // key order starting after the compact pointer until the byte budget is
-// met (one file when GroupBytes is zero).
-func (p *Picker) pickLeveled(v *manifest.Version, level int, pointer keys.InternalKey) *Compaction {
-	files := v.Levels[level]
+// met (one file when GroupBytes is zero). Tables reserved by in-flight
+// compactions are skipped so concurrent picks spread across the level.
+func (p *Picker) pickLeveled(v *manifest.Version, level int, pointer keys.InternalKey, in *InFlight) *Compaction {
+	files := unreservedFiles(v.Levels[level], in)
 	if len(files) == 0 {
 		return nil
 	}
@@ -202,7 +330,7 @@ func (p *Picker) pickLeveled(v *manifest.Version, level int, pointer keys.Intern
 			start = 0
 		}
 	}
-	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: "level size"}
+	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: ReasonLevelSize}
 	var budget int64
 	for i := 0; i < len(files); i++ {
 		f := files[(start+i)%len(files)]
@@ -221,9 +349,10 @@ func (p *Picker) pickLeveled(v *manifest.Version, level int, pointer keys.Intern
 
 // pickSettled implements BoLT's settled compaction: victims are the files
 // with the least next-level overlap, up to the group byte budget. Victims
-// with zero overlap are promoted without rewrite.
-func (p *Picker) pickSettled(v *manifest.Version, level int) *Compaction {
-	files := v.Levels[level]
+// with zero overlap are promoted without rewrite. Reserved tables are
+// excluded from candidacy.
+func (p *Picker) pickSettled(v *manifest.Version, level int, in *InFlight) *Compaction {
+	files := unreservedFiles(v.Levels[level], in)
 	if len(files) == 0 {
 		return nil
 	}
@@ -245,7 +374,7 @@ func (p *Picker) pickSettled(v *manifest.Version, level int) *Compaction {
 	if budget == 0 {
 		budget = 1 // degenerate: single victim
 	}
-	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: "level size (settled)"}
+	c := &Compaction{Level: level, OutputLevel: level + 1, Reason: ReasonSettled}
 	var taken int64
 	for _, s := range cands {
 		if taken >= budget {
@@ -275,9 +404,10 @@ func (p *Picker) pickSettled(v *manifest.Version, level int) *Compaction {
 // (connected component of range-overlapping tables) in the level is merged
 // and pushed down; the next level is NOT read (its tables are left in
 // place — the defining FLSM trait). Compactions out of the last level are
-// in-place merges that de-overlap the pile.
-func (p *Picker) pickFragmented(v *manifest.Version, level int) *Compaction {
-	files := v.Levels[level]
+// in-place merges that de-overlap the pile. Reserved tables are excluded
+// before piles are formed.
+func (p *Picker) pickFragmented(v *manifest.Version, level int, in *InFlight) *Compaction {
+	files := unreservedFiles(v.Levels[level], in)
 	if len(files) == 0 {
 		return nil
 	}
@@ -319,7 +449,7 @@ func (p *Picker) pickFragmented(v *manifest.Version, level int) *Compaction {
 		flush()
 	}
 	out := level + 1
-	reason := "level size (fragmented)"
+	reason := ReasonFragmented
 	if level == manifest.NumLevels-2 {
 		// Piles pushed into the last level would accumulate forever; merge
 		// the pile with its last-level overlaps instead (PebblesDB's
@@ -331,6 +461,33 @@ func (p *Picker) pickFragmented(v *manifest.Version, level int) *Compaction {
 		return c
 	}
 	return &Compaction{Level: level, OutputLevel: out, Inputs: best, Reason: reason}
+}
+
+// L0OverlapClosure returns the transitive closure of level-0 files whose
+// user-key ranges overlap seed's range (growing the range as files join).
+func L0OverlapClosure(files []*manifest.FileMeta, seed *manifest.FileMeta) []*manifest.FileMeta {
+	smallest := seed.Smallest.UserKey()
+	largest := seed.Largest.UserKey()
+	in := map[uint64]bool{seed.Num: true}
+	out := []*manifest.FileMeta{seed}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range files {
+			if in[f.Num] || !f.OverlapsUser(smallest, largest) {
+				continue
+			}
+			in[f.Num] = true
+			out = append(out, f)
+			if keys.CompareUser(f.Smallest.UserKey(), smallest) < 0 {
+				smallest = f.Smallest.UserKey()
+			}
+			if keys.CompareUser(f.Largest.UserKey(), largest) > 0 {
+				largest = f.Largest.UserKey()
+			}
+			changed = true
+		}
+	}
+	return out
 }
 
 func sortBySmallest(files []*manifest.FileMeta) {

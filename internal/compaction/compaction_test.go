@@ -45,14 +45,14 @@ func TestScoreAndTrigger(t *testing.T) {
 	v := &manifest.Version{}
 	// Below thresholds: no compaction.
 	v.Levels[0] = []*manifest.FileMeta{meta(1, 1<<20, "a", "b")}
-	if c := p.Pick(v, func(int) keys.InternalKey { return nil }); c != nil {
+	if c := p.Pick(v, Env{}); c != nil {
 		t.Fatalf("premature compaction: %+v", c)
 	}
 	// L0 at trigger.
 	for i := 2; i <= 4; i++ {
 		v.Levels[0] = append(v.Levels[0], meta(uint64(i), 1<<20, "a", "b"))
 	}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if c == nil || c.Level != 0 {
 		t.Fatalf("expected L0 compaction, got %+v", c)
 	}
@@ -73,7 +73,7 @@ func TestL0IncludesL1Overlaps(t *testing.T) {
 		meta(12, 1<<20, "k", "n"), // overlaps
 		meta(13, 1<<20, "p", "z"), // outside
 	}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if len(c.NextInputs) != 2 || c.NextInputs[0].Num != 11 || c.NextInputs[1].Num != 12 {
 		t.Fatalf("next inputs: %+v", c.NextInputs)
 	}
@@ -93,7 +93,7 @@ func overflowL1() *manifest.Version {
 func TestClassicSingleVictim(t *testing.T) {
 	p := &Picker{Opts: defaultOpts()}
 	v := overflowL1()
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if c == nil || c.Level != 1 || len(c.Inputs) != 1 {
 		t.Fatalf("classic pick: %+v", c)
 	}
@@ -104,17 +104,17 @@ func TestClassicRoundRobinPointer(t *testing.T) {
 	v := overflowL1()
 	// Pointer after file 3's largest ("k05"): next victim is file 4.
 	ptr := ik("k05")
-	c := p.Pick(v, func(level int) keys.InternalKey {
+	c := p.Pick(v, Env{CompactPointer: func(level int) keys.InternalKey {
 		if level == 1 {
 			return ptr
 		}
 		return nil
-	})
+	}})
 	if len(c.Inputs) != 1 || c.Inputs[0].Num != 4 {
 		t.Fatalf("round robin chose %d", c.Inputs[0].Num)
 	}
 	// Pointer past the end wraps to the first file.
-	c = p.Pick(v, func(level int) keys.InternalKey { return ik("zzz") })
+	c = p.Pick(v, Env{CompactPointer: func(level int) keys.InternalKey { return ik("zzz") }})
 	if len(c.Inputs) != 1 || c.Inputs[0].Num != 1 {
 		t.Fatalf("wrap chose %d", c.Inputs[0].Num)
 	}
@@ -125,7 +125,7 @@ func TestGroupCompactionBudget(t *testing.T) {
 	o.GroupBytes = 6 << 20 // three 2 MB victims
 	p := &Picker{Opts: o}
 	v := overflowL1()
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if len(c.Inputs) != 3 {
 		t.Fatalf("group inputs = %d", len(c.Inputs))
 	}
@@ -155,7 +155,7 @@ func TestSettledSelectsMinOverlapAndPromotes(t *testing.T) {
 		meta(11, 8<<20, "b", "c"),
 		meta(12, 2<<20, "h", "i"),
 	}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if c == nil || c.Level != 1 {
 		t.Fatalf("pick: %+v", c)
 	}
@@ -184,7 +184,7 @@ func TestSettledMixedPromotionAndRewrite(t *testing.T) {
 		meta(10, 1<<20, "b", "c"),
 		meta(11, 20<<20, "h", "i"),
 	}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if len(c.Settled) != 1 || c.Settled[0].Num != 2 {
 		t.Fatalf("settled: %+v", c.Settled)
 	}
@@ -214,7 +214,7 @@ func TestFragmentedPicksHeaviestPile(t *testing.T) {
 		meta(4, 3<<20, "n", "q"),
 		meta(5, 3<<20, "o", "r"),
 	}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if c == nil || c.Level != 1 {
 		t.Fatalf("pick: %+v", c)
 	}
@@ -241,7 +241,7 @@ func TestFragmentedLastLevelMerges(t *testing.T) {
 	}
 	v.Levels[lvl] = pile
 	v.Levels[lvl+1] = []*manifest.FileMeta{meta(999, 4<<20, "m", "q")}
-	c := p.Pick(v, func(int) keys.InternalKey { return nil })
+	c := p.Pick(v, Env{})
 	if c == nil || c.Level != lvl {
 		t.Fatalf("pick: %+v", c)
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/keys"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/memtable"
+	"github.com/bolt-lsm/bolt/internal/metrics"
 	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
 	"github.com/bolt-lsm/bolt/internal/wal"
@@ -42,29 +43,27 @@ func (db *DB) CompactRange(start, limit []byte) error {
 		db.cond.Wait()
 	}
 
-	// Exclude the background picker while the manual compaction holds
-	// references to current-version inputs; otherwise both could compact
-	// the same tables.
+	// Exclude the scheduler while the manual compaction holds references
+	// to current-version inputs; otherwise both could compact the same
+	// tables. Setting manualActive stops new picks (pickCompactionLocked
+	// returns nil) so the worker pool drains promptly; reserved work
+	// already in flight runs to completion first.
 	db.manualActive = true
 	defer func() {
 		// The cleanup must run under mu, so mu is released here rather
 		// than at the return sites.
 		db.manualActive = false
 		db.maybeScheduleWorkLocked()
+		db.cond.Broadcast()
 		db.mu.Unlock()
 	}()
+	for (db.flushActive || db.compactWorkers > 0) && !db.bgStoppedLocked() {
+		db.cond.Wait()
+	}
 
 	var manualErr error
 	for level := 0; level < manifest.NumLevels-1 && manualErr == nil; level++ {
 		for !db.bgStoppedLocked() {
-			// Wait for background work to quiesce so manual compactions
-			// do not race the picker over the same inputs.
-			for (db.flushActive || db.compactActive) && !db.bgStoppedLocked() {
-				db.cond.Wait()
-			}
-			if db.bgStoppedLocked() {
-				break
-			}
 			v := db.vs.Current()
 			inputs := v.Overlaps(level, start, limit)
 			if len(inputs) == 0 {
@@ -72,17 +71,22 @@ func (db *DB) CompactRange(start, limit []byte) error {
 			}
 			if level == 0 {
 				// Level 0 files overlap each other; take the closure.
-				inputs = l0OverlapClosure(v.Levels[0], inputs[0])
+				inputs = compaction.L0OverlapClosure(v.Levels[0], inputs[0])
 			}
 			c := &compaction.Compaction{
 				Level:       level,
 				OutputLevel: level + 1,
 				Inputs:      inputs,
-				Reason:      "manual",
+				Reason:      compaction.ReasonManual,
 			}
 			smallest, largest := c.Range()
 			c.NextInputs = v.Overlaps(level+1, smallest, largest)
-			if err := db.compactLocked(c); err != nil {
+			// Reserve even though the pool is drained: the in-flight gauge
+			// stays truthful and Release is cheap.
+			r := db.inflight.Reserve(c)
+			err := db.compactLocked(c, manualWorkerID)
+			db.inflight.Release(r)
+			if err != nil {
 				// Manual compactions surface failures to the caller
 				// instead of retrying; the tree is unchanged.
 				manualErr = fmt.Errorf("core: manual compaction: %w", err)
@@ -131,80 +135,125 @@ func (db *DB) forceMemtableSwitchLocked() error {
 	return nil
 }
 
-// maybeScheduleWorkLocked spawns background workers as needed. Called with mu
-// held whenever flushable or compactable state appears.
+// Worker IDs stamped into events: the dedicated flush thread is worker 0,
+// pool workers are 1..MaxBackgroundCompactions, and foreground manual
+// compactions report manualWorkerID.
+const (
+	flushWorkerID  = 0
+	manualWorkerID = -1
+)
+
+// maybeScheduleWorkLocked is the scheduler: called with mu held whenever
+// flushable or compactable state appears, it tops the bounded worker pool
+// up with pre-reserved jobs. Picking happens here, under mu, so a worker
+// is only spawned when it has conflict-free work in hand — repeated calls
+// while the queue is saturated spawn nothing.
 func (db *DB) maybeScheduleWorkLocked() {
 	if db.bgStoppedLocked() || db.manualActive {
 		return
 	}
-	if db.cfg.SeparateFlushThread {
-		if db.imm != nil && !db.flushActive {
+	if db.cfg.SeparateFlushThread && db.imm != nil && !db.flushActive {
+		db.flushActive = true
+		go db.flushLoop()
+	}
+	for db.compactWorkers < db.cfg.MaxBackgroundCompactions {
+		// In unified mode the pool also drains flushes. The flush claim is
+		// taken here, before the worker runs, for the same reason picks
+		// are: so the next scheduler call sees the claim and does not
+		// spawn a second worker for the same memtable.
+		flushFirst := !db.cfg.SeparateFlushThread && db.imm != nil && !db.flushActive
+		var c *compaction.Compaction
+		var r *compaction.Reservation
+		if !flushFirst {
+			if c, r = db.pickAndReserveLocked(); c == nil {
+				return
+			}
+		} else {
 			db.flushActive = true
-			go db.flushLoop()
 		}
-		if !db.compactActive && db.needsCompactionLocked() {
-			db.compactActive = true
-			go db.compactLoop(false)
-		}
-	} else if !db.compactActive && (db.imm != nil || db.needsCompactionLocked()) {
-		db.compactActive = true
-		go db.compactLoop(true)
+		db.compactWorkers++
+		go db.compactWorker(db.takeWorkerSlotLocked(), c, r, flushFirst)
 	}
 }
 
-func (db *DB) needsCompactionLocked() bool {
-	if db.seekCompactFile != nil {
-		return true
+// takeWorkerSlotLocked allocates the smallest free pool worker ID (1-based;
+// 0 is the dedicated flush thread). The compactWorkers bound guarantees a
+// free slot exists.
+func (db *DB) takeWorkerSlotLocked() int {
+	for i := range db.workerSlots {
+		if !db.workerSlots[i] {
+			db.workerSlots[i] = true
+			return i + 1
+		}
 	}
-	_, score := db.picker.MaxScoreLevel(db.vs.Current())
-	return score >= 1.0
+	// Unreachable while compactWorkers <= len(workerSlots); be safe anyway.
+	db.workerSlots = append(db.workerSlots, true)
+	return len(db.workerSlots)
+}
+
+func (db *DB) releaseWorkerSlotLocked(w int) {
+	db.workerSlots[w-1] = false
 }
 
 // flushLoop is the dedicated flush worker (SeparateFlushThread profiles).
-// Failed flushes are retried with backoff (the immutable memtable and its
-// WAL stay in place, so no acknowledged write is at risk); an exhausted
-// retry budget degrades the engine to read-only.
+// The scheduler takes the flush claim before spawning it.
 func (db *DB) flushLoop() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for !db.bgStoppedLocked() && db.imm != nil {
-		if err := db.flushLocked(); err != nil {
-			if db.retryOrDegradeLocked(&db.flushFails, err) {
-				continue
-			}
-			break
-		}
-		db.recoverFaultLocked(&db.flushFails)
-		db.cond.Broadcast()
-	}
+	db.runFlushLocked(flushWorkerID)
 	db.flushActive = false
 	db.cond.Broadcast()
 }
 
-// compactLoop is the main background worker. With handleFlush it also
-// drains memtable flushes (single-background-thread profiles). Failures
-// follow the same retry-then-degrade policy as flushLoop; a failed
-// compaction leaves the tree unchanged, so the retry simply re-picks.
-func (db *DB) compactLoop(handleFlush bool) {
+// runFlushLocked drains the immutable memtable under the caller-held flush
+// claim. Failed flushes are retried with backoff (the immutable memtable
+// and its WAL stay in place, so no acknowledged write is at risk); an
+// exhausted retry budget degrades the engine to read-only.
+func (db *DB) runFlushLocked(worker int) {
+	for !db.bgStoppedLocked() && db.imm != nil {
+		if err := db.flushLocked(worker); err != nil {
+			if db.retryOrDegradeLocked(&db.flushFails, err) {
+				continue
+			}
+			return
+		}
+		db.recoverFaultLocked(&db.flushFails)
+		db.cond.Broadcast()
+	}
+}
+
+// compactWorker is one pool worker. It executes the pre-reserved job it
+// was spawned with, then keeps picking until no conflict-free work
+// remains. In unified mode (no separate flush thread) an idle worker also
+// claims pending flushes; flushFirst marks a claim already taken by the
+// scheduler at spawn time. Failures follow the retry-then-degrade policy;
+// a failed compaction leaves the tree unchanged, so after releasing its
+// reservation the retry simply re-picks.
+func (db *DB) compactWorker(w int, c *compaction.Compaction, r *compaction.Reservation, flushFirst bool) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for !db.bgStoppedLocked() {
-		if handleFlush && db.imm != nil {
-			if err := db.flushLocked(); err != nil {
-				if db.retryOrDegradeLocked(&db.flushFails, err) {
-					continue
-				}
-				break
+		if flushFirst || (c == nil && !db.cfg.SeparateFlushThread && db.imm != nil && !db.flushActive) {
+			if !flushFirst {
+				db.flushActive = true
 			}
-			db.recoverFaultLocked(&db.flushFails)
+			flushFirst = false
+			db.runFlushLocked(w)
+			db.flushActive = false
 			db.cond.Broadcast()
 			continue
 		}
-		c := db.pickCompactionLocked()
 		if c == nil {
-			break
+			if c, r = db.pickAndReserveLocked(); c == nil {
+				break
+			}
 		}
-		if err := db.compactLocked(c); err != nil {
+		err := db.compactLocked(c, w)
+		// Release before any retry backoff: a sleeping worker must not
+		// keep other workers away from the tables it failed to compact.
+		db.inflight.Release(r)
+		c, r = nil, nil
+		if err != nil {
 			if db.retryOrDegradeLocked(&db.compactFails, err) {
 				continue
 			}
@@ -213,69 +262,47 @@ func (db *DB) compactLoop(handleFlush bool) {
 		db.recoverFaultLocked(&db.compactFails)
 		db.cond.Broadcast()
 	}
-	db.compactActive = false
+	// Exits with work still in hand happen when background work stops
+	// (close, degradation): drop the unused claim and reservation.
+	if flushFirst {
+		db.flushActive = false
+	}
+	db.inflight.Release(r)
+	db.compactWorkers--
+	db.releaseWorkerSlotLocked(w)
 	db.cond.Broadcast()
 }
 
-// pickCompactionLocked returns the next compaction: a pending seek
-// compaction if its victim is still current, else the picker's choice.
-func (db *DB) pickCompactionLocked() *compaction.Compaction {
-	v := db.vs.Current()
-	if f := db.seekCompactFile; f != nil {
-		level := db.seekCompactLevel
-		db.seekCompactFile = nil
-		if level < manifest.NumLevels-1 && !db.cfg.Fragmented {
-			for _, cur := range v.Levels[level] {
-				if cur == f {
-					db.met.SeekCompactions.Add(1)
-					c := &compaction.Compaction{
-						Level:       level,
-						OutputLevel: level + 1,
-						Inputs:      []*manifest.FileMeta{f},
-						Reason:      "seek",
-					}
-					if level == 0 {
-						// Level-0 files overlap each other: compacting one
-						// without its overlapping siblings would leave older
-						// versions above newer ones. Expand to the overlap
-						// closure, as LevelDB does.
-						c.Inputs = l0OverlapClosure(v.Levels[0], f)
-					}
-					smallest, largest := c.Range()
-					c.NextInputs = v.Overlaps(level+1, smallest, largest)
-					return c
-				}
-			}
-		}
+// pickAndReserveLocked picks the next conflict-free compaction and
+// reserves its footprint in the in-flight registry.
+func (db *DB) pickAndReserveLocked() (*compaction.Compaction, *compaction.Reservation) {
+	c := db.pickCompactionLocked()
+	if c == nil {
+		return nil, nil
 	}
-	return db.picker.Pick(v, db.vs.CompactPointer)
+	return c, db.inflight.Reserve(c)
 }
 
-// l0OverlapClosure returns the transitive closure of level-0 files whose
-// user-key ranges overlap seed's range (growing the range as files join).
-func l0OverlapClosure(files []*manifest.FileMeta, seed *manifest.FileMeta) []*manifest.FileMeta {
-	smallest := seed.Smallest.UserKey()
-	largest := seed.Largest.UserKey()
-	in := map[uint64]bool{seed.Num: true}
-	out := []*manifest.FileMeta{seed}
-	for changed := true; changed; {
-		changed = false
-		for _, f := range files {
-			if in[f.Num] || !f.OverlapsUser(smallest, largest) {
-				continue
-			}
-			in[f.Num] = true
-			out = append(out, f)
-			if keys.CompareUser(f.Smallest.UserKey(), smallest) < 0 {
-				smallest = f.Smallest.UserKey()
-			}
-			if keys.CompareUser(f.Largest.UserKey(), largest) > 0 {
-				largest = f.Largest.UserKey()
-			}
-			changed = true
-		}
+// pickCompactionLocked returns the next compaction the picker can run
+// alongside the in-flight set, or nil. The pending seek candidate (if
+// any) is handed to the picker and consumed either way: like the
+// pre-scheduler engine, a seek hint gets exactly one pick attempt.
+func (db *DB) pickCompactionLocked() *compaction.Compaction {
+	if db.manualActive {
+		return nil
 	}
-	return out
+	env := compaction.Env{
+		CompactPointer: db.vs.CompactPointer,
+		InFlight:       db.inflight,
+		SeekFile:       db.seekCompactFile,
+		SeekLevel:      db.seekCompactLevel,
+	}
+	db.seekCompactFile = nil
+	c := db.picker.Pick(db.vs.Current(), env)
+	if c != nil && c.Reason == compaction.ReasonSeek {
+		db.met.SeekCompactions.Add(1)
+	}
+	return c
 }
 
 // flushLocked converts the immutable memtable into level-0 tables. Called
@@ -284,15 +311,17 @@ func l0OverlapClosure(files []*manifest.FileMeta, seed *manifest.FileMeta) []*ma
 // output files become orphans for the next recovery to collect (they are
 // never deleted here — an apparently failed sync may still have reached
 // the platter, and the MANIFEST of a failed commit may reference them).
-func (db *DB) flushLocked() error {
+func (db *DB) flushLocked(worker int) error {
 	imm := db.imm
 	logNum := db.walNum // stable: imm != nil blocks further switches
 	db.met.MemtableFlushes.Add(1)
+	db.nextJobID++
+	job := db.nextJobID
 	start := time.Now()
 	fsyncsBefore := db.io.Fsyncs.Load()
 
 	db.mu.Unlock()
-	db.ev.Emit(events.Event{Type: events.TypeFlushStart, BytesIn: imm.ApproximateSize()})
+	db.ev.Emit(events.Event{Type: events.TypeFlushStart, BytesIn: imm.ApproximateSize(), Job: job, Worker: worker})
 	metas, err := db.writeTables(imm.NewIter(), 0)
 	db.mu.Lock()
 	if err != nil {
@@ -329,6 +358,8 @@ func (db *DB) flushLocked() error {
 		BytesOut: outBytes,
 		Barriers: db.io.Fsyncs.Load() - fsyncsBefore,
 		Dur:      time.Since(start),
+		Job:      job,
+		Worker:   worker,
 	})
 	db.mu.Lock()
 	db.verifyInvariantsLocked()
@@ -340,8 +371,11 @@ func (db *DB) flushLocked() error {
 // during I/O. On failure the tree is unchanged and the error is returned
 // for the caller's retry/degrade policy; output files written before the
 // failure are left as orphans (see flushLocked).
-func (db *DB) compactLocked(c *compaction.Compaction) error {
+func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	db.met.Compactions.Add(1)
+	db.met.CompactionsByReason[compactionReasonBucket(c.Reason)].Add(1)
+	db.nextJobID++
+	job := db.nextJobID
 	v := db.vs.Current()
 	v.Ref() // pin input tables for the duration
 	smallestSnap := db.smallestSnapshotLocked()
@@ -368,6 +402,8 @@ func (db *DB) compactLocked(c *compaction.Compaction) error {
 		Inputs:      len(c.Inputs) + len(c.NextInputs),
 		BytesIn:     levelBytes + nextBytes,
 		Reason:      c.Reason,
+		Job:         job,
+		Worker:      worker,
 	})
 	if len(c.Inputs)+len(c.NextInputs) > 0 {
 		metas, err = db.writeCompactionTables(c, smallestSnap, dropTombstones)
@@ -436,6 +472,8 @@ func (db *DB) compactLocked(c *compaction.Compaction) error {
 		BytesOut:    outBytes,
 		Barriers:    barriers,
 		Dur:         time.Since(start),
+		Job:         job,
+		Worker:      worker,
 	})
 	if len(c.Settled) > 0 {
 		db.ev.Emit(events.Event{
@@ -674,6 +712,23 @@ func (db *DB) reclaimZombiesLocked() []events.Event {
 		}
 	}
 	return fallbackEvents
+}
+
+// compactionReasonBucket maps a picker reason string onto the per-reason
+// metrics counter index; the two size triggers share one bucket.
+func compactionReasonBucket(reason string) metrics.CompactionReason {
+	switch reason {
+	case compaction.ReasonSeek:
+		return metrics.CompactionSeek
+	case compaction.ReasonSettled:
+		return metrics.CompactionSettled
+	case compaction.ReasonFragmented:
+		return metrics.CompactionFragmented
+	case compaction.ReasonManual:
+		return metrics.CompactionManual
+	default:
+		return metrics.CompactionSize
+	}
 }
 
 // verifyInvariantsLocked re-checks the version layout when the test hook

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/bolt-lsm/bolt/internal/events"
@@ -82,6 +83,12 @@ type Config struct {
 	// SeparateFlushThread dedicates a second background goroutine to
 	// memtable flushes (RocksDB's flush/compaction thread split).
 	SeparateFlushThread bool
+	// MaxBackgroundCompactions bounds the compaction worker pool: up to
+	// this many compactions with disjoint inputs and non-overlapping
+	// output ranges run concurrently (in unified mode the pool also
+	// drains flushes). Zero selects the default min(4, NumCPU); negative
+	// selects 1 — the serialized pre-scheduler behaviour.
+	MaxBackgroundCompactions int
 
 	// --- Caches ---
 
@@ -163,6 +170,19 @@ func (c *Config) ApplyDefaults() {
 	}
 	if c.BlockCacheBytes <= 0 {
 		c.BlockCacheBytes = 8 << 20
+	}
+	switch {
+	case c.MaxBackgroundCompactions == 0:
+		n := runtime.NumCPU()
+		if n > 4 {
+			n = 4
+		}
+		if n < 1 {
+			n = 1
+		}
+		c.MaxBackgroundCompactions = n
+	case c.MaxBackgroundCompactions < 0:
+		c.MaxBackgroundCompactions = 1
 	}
 	switch {
 	case c.BgRetryLimit == 0:

@@ -58,17 +58,32 @@ type DB struct {
 	visibleSeq atomic.Uint64
 
 	writers []*dbWriter
+	// leaderActive is true while the head of writers runs its group commit
+	// (including its off-mu WAL append). Close waits for it so the WAL
+	// writer is never closed under an in-flight append.
+	leaderActive bool
 
 	snapshots *list.List // of keys.Seq, ascending insertion order
 
 	// manifestMu serializes MANIFEST commits; acquired without mu held.
 	manifestMu sync.Mutex
 
-	flushActive   bool
-	compactActive bool
-	manualActive  bool
-	bgErr         error
-	closed        bool
+	// flushActive claims the single pending flush: held by the dedicated
+	// flush thread, or by whichever pool worker grabbed it in unified
+	// mode. compactWorkers counts live pool workers; workerSlots tracks
+	// which 1-based worker IDs are taken so event traces stay stable.
+	// manualActive excludes the scheduler while CompactRange runs.
+	flushActive    bool
+	compactWorkers int
+	workerSlots    []bool
+	manualActive   bool
+	// inflight registers the footprint of every executing compaction so
+	// concurrent picks stay conflict-free; guarded by mu like the rest.
+	inflight *compaction.InFlight
+	// nextJobID numbers flushes and compactions for event correlation.
+	nextJobID uint64
+	bgErr     error
+	closed    bool
 
 	// readOnly marks the degraded mode entered when background work
 	// exhausts its retry budget or hits a permanent fault (see bgerror.go):
@@ -108,7 +123,9 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		snapshots:  list.New(),
 		physRefs:   make(map[uint64]int),
 		deadRanges: make(map[uint64][]deadRange),
+		inflight:   compaction.NewInFlight(),
 	}
+	db.workerSlots = make([]bool, cfg.MaxBackgroundCompactions)
 	db.cond = sync.NewCond(&db.mu)
 	db.fs = newCountingFS(wrapInvariantFS(fs), db.io)
 
@@ -532,17 +549,17 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.cond.Broadcast()
-	for db.flushActive || db.compactActive {
+	// Waiting on manualActive too (not just background workers) keeps the
+	// version set and caches alive until a concurrent CompactRange has
+	// observed the close and unwound. Waiting on the writer queue keeps
+	// the WAL writer alive until the in-flight group-commit leader has
+	// finished its off-mu append: new writers are rejected at entry once
+	// closed is set, and each queued writer becomes leader in turn, sees
+	// closed in makeRoomForWrite, and returns ErrClosed — so the queue
+	// drains itself through the normal leader chain.
+	for db.flushActive || db.compactWorkers > 0 || db.manualActive ||
+		db.leaderActive || len(db.writers) > 0 {
 		db.cond.Wait()
-	}
-	// Fail any writers still queued. The queue itself is left intact: an
-	// in-flight leader that wakes from makeRoomForWrite still pops its
-	// members from the head, so clearing the slice here would race with
-	// that pop.
-	for _, w := range db.writers {
-		w.err = ErrClosed
-		w.done = true
-		w.cv.Signal()
 	}
 	db.mu.Unlock()
 
@@ -573,7 +590,7 @@ func (db *DB) Close() error {
 func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for (db.flushActive || db.compactActive || db.imm != nil) && !db.bgStoppedLocked() {
+	for (db.flushActive || db.compactWorkers > 0 || db.manualActive || db.imm != nil) && !db.bgStoppedLocked() {
 		db.cond.Wait()
 	}
 	if db.closed {

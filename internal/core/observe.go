@@ -13,6 +13,14 @@ import (
 // to observe every event without loss.
 func (db *DB) Events() []events.Event { return db.ev.Events() }
 
+// InFlightCompactions returns the number of currently executing (reserved)
+// compactions, manual ones included.
+func (db *DB) InFlightCompactions() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inflight.Len()
+}
+
 // LevelStats reports the live shape of the tree: per level, the layout
 // read from the current version (files, tables, bytes, dead bytes, read
 // amplification) joined with the cumulative per-level compaction counters.
@@ -132,6 +140,7 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 	p.Counter("bolt_file_removes_total", "File removes.", ios.FileRemoves)
 
 	p.Gauge("bolt_dead_range_bytes", "Dead-but-unreclaimed bytes across all files.", float64(db.DeadRangeBytes()))
+	p.Gauge("bolt_inflight_compactions", "Compactions currently executing.", float64(db.InFlightCompactions()))
 	p.Counter("bolt_events_emitted_total", "Engine events emitted since open.", int64(db.ev.TotalEmitted()))
 	return p.Err()
 }

@@ -66,6 +66,7 @@ func (db *DB) Write(b *batch.Batch) error {
 	}
 
 	// This writer is the leader.
+	db.leaderActive = true
 	err := db.makeRoomForWrite()
 	var group *batch.Batch
 	var members []*dbWriter
@@ -120,8 +121,13 @@ func (db *DB) Write(b *batch.Batch) error {
 			m.cv.Signal()
 		}
 	}
+	db.leaderActive = false
 	if len(db.writers) > 0 {
 		db.writers[0].cv.Signal()
+	}
+	if db.closed {
+		// Close drains the writer queue before touching the WAL files.
+		db.cond.Broadcast()
 	}
 	db.mu.Unlock()
 	return err

@@ -49,6 +49,15 @@ func hyperBoltProfile() core.Config {
 	return c
 }
 
+// parallelBoltProfile runs the full BoLT element set with several
+// compaction workers, so crashes land while multiple compactions (and
+// their MANIFEST commits) are in flight.
+func parallelBoltProfile() core.Config {
+	c := boltProfile()
+	c.MaxBackgroundCompactions = 3
+	return c
+}
+
 // TestCrashRecovery is the randomized harness: ≥200 seeded crash/reopen
 // cycles in short mode across all crash classes, three engine profiles,
 // and both clean and torn images — with zero acknowledged-write losses.
@@ -65,6 +74,7 @@ func TestCrashRecovery(t *testing.T) {
 		{"leveldb", leveldbProfile},
 		{"bolt", boltProfile},
 		{"hyperbolt", hyperBoltProfile},
+		{"parallel", parallelBoltProfile},
 	}
 
 	fired := 0

@@ -135,6 +135,14 @@ type Event struct {
 	Reason string
 	// Err is the failure text for bg-retry / bg-degraded events.
 	Err string
+	// Job is the engine-assigned, monotonically increasing ID shared by
+	// the start and end events of one flush or compaction, so interleaved
+	// parallel work can be correlated. Zero means unnumbered.
+	Job uint64
+	// Worker identifies the goroutine that ran the job: 0 is the
+	// dedicated flush thread, 1..N are compaction pool workers, and -1 is
+	// a foreground (manual) compaction. Only meaningful when Job != 0.
+	Worker int
 }
 
 // String renders one human-readable trace line.
@@ -167,6 +175,15 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " backoff=%v err=%s", e.Dur.Round(time.Millisecond), e.Err)
 	case TypeBgDegraded:
 		fmt.Fprintf(&b, " err=%s", e.Err)
+	}
+	if e.Job != 0 {
+		switch e.Type {
+		case TypeFlushStart, TypeFlushEnd, TypeCompactionStart, TypeCompactionEnd:
+			fmt.Fprintf(&b, " job=%d", e.Job)
+			if e.Worker >= 0 {
+				fmt.Fprintf(&b, " w=%d", e.Worker)
+			}
+		}
 	}
 	return b.String()
 }

@@ -12,6 +12,27 @@ import (
 	"github.com/bolt-lsm/bolt/internal/manifest"
 )
 
+// CompactionReason buckets completed compactions by what triggered them,
+// indexing the per-reason counters. The two size triggers (L0 file count,
+// level bytes) share the size bucket.
+type CompactionReason int
+
+// The per-reason compaction counter buckets.
+const (
+	CompactionSize CompactionReason = iota
+	CompactionSeek
+	CompactionSettled
+	CompactionFragmented
+	CompactionManual
+	NumCompactionReasons
+)
+
+// CompactionReasonNames are the Prometheus label values, indexed by
+// CompactionReason.
+var CompactionReasonNames = [NumCompactionReasons]string{
+	"size", "seek", "settled", "fragmented", "manual",
+}
+
 // Metrics is the live counter set of one DB instance.
 type Metrics struct {
 	// Write path.
@@ -34,6 +55,9 @@ type Metrics struct {
 	TablesDeleted      atomic.Int64
 	HolePunches        atomic.Int64
 	SeekCompactions    atomic.Int64
+	// CompactionsByReason splits Compactions by trigger (see
+	// CompactionReason).
+	CompactionsByReason [NumCompactionReasons]atomic.Int64
 
 	// Read path.
 	Gets          atomic.Int64
@@ -85,6 +109,8 @@ type Snapshot struct {
 	HolePunches        int64
 	SeekCompactions    int64
 
+	CompactionsByReason [NumCompactionReasons]int64
+
 	Gets          int64
 	GetHits       int64
 	TablesChecked int64
@@ -104,6 +130,9 @@ type Snapshot struct {
 // Snapshot copies the scalar counters (histograms are read directly).
 func (m *Metrics) Snapshot() Snapshot {
 	s := m.snapshotScalars()
+	for r := CompactionReason(0); r < NumCompactionReasons; r++ {
+		s.CompactionsByReason[r] = m.CompactionsByReason[r].Load()
+	}
 	for l := 0; l < manifest.NumLevels; l++ {
 		s.LevelCompactionsIn[l] = m.LevelCompactionsIn[l].Load()
 		s.LevelCompactionsOut[l] = m.LevelCompactionsOut[l].Load()

@@ -67,6 +67,14 @@ func (p *PromWriter) Gauge(name, help string, v float64) {
 	p.printf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 }
 
+// LabeledCounter emits one counter sample per label value.
+func (p *PromWriter) LabeledCounter(name, help, label string, names []string, values []int64) {
+	p.printf("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for i, n := range names {
+		p.printf("%s{%s=%q} %d\n", name, label, n, values[i])
+	}
+}
+
 // LevelGauge emits one gauge sample per level, labelled level="N".
 func (p *PromWriter) LevelGauge(name, help string, value func(LevelStats) float64, levels []LevelStats) {
 	p.printf("# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
@@ -130,6 +138,8 @@ func (m *Metrics) WriteProm(p *PromWriter) {
 	p.Counter("bolt_hole_punches_total", "Dead ranges reclaimed barrier-free.", s.HolePunches)
 	p.Counter("bolt_hole_punch_fallbacks_total", "Punches degraded to dead-range accounting.", s.HolePunchFallbacks)
 	p.Counter("bolt_seek_compactions_total", "Compactions triggered by seek misses.", s.SeekCompactions)
+	p.LabeledCounter("bolt_compactions_by_reason_total", "Compactions completed, by trigger.",
+		"reason", CompactionReasonNames[:], s.CompactionsByReason[:])
 
 	p.Counter("bolt_gets_total", "Point lookups.", s.Gets)
 	p.Counter("bolt_get_hits_total", "Point lookups that found a value.", s.GetHits)
