@@ -376,6 +376,8 @@ func (d SimDisk) profile() simdisk.Profile {
 }
 
 // DB is an open database.
+//
+//boltvet:mustclose
 type DB struct {
 	inner  *core.DB
 	device *simdisk.Device // nil unless OpenSim
@@ -453,6 +455,8 @@ func (b *Batch) Len() int { return b.b.Count() }
 func (db *DB) Apply(b *Batch) error { return db.inner.Write(b.b) }
 
 // Snapshot pins a consistent read view.
+//
+//boltvet:mustclose
 type Snapshot struct {
 	s *core.Snapshot
 }
@@ -473,6 +477,8 @@ func (db *DB) GetAt(key []byte, snap *Snapshot) ([]byte, error) {
 }
 
 // Iterator walks user keys in ascending order.
+//
+//boltvet:mustclose
 type Iterator struct {
 	it *core.DBIter
 }

@@ -9,7 +9,12 @@
 //	               cycles in the lock-acquisition-order graph
 //	errflow      — barrier-born errors that die in a helper or wrap chain
 //	atomicfield  — plain access to (or copies of) sync/atomic fields
-//	summary      — boltvet:ignore hygiene (reasons, known analyzer names)
+//	guardedby    — //boltvet:guardedby field annotations checked against
+//	               the lock-set analysis at every access site
+//	mustclose    — //boltvet:mustclose values tracked from creation to a
+//	               Close, an ownership transfer, or a leak finding
+//	summary      — boltvet:ignore / ignore-begin hygiene (reasons, known
+//	               analyzer names, balanced pairs)
 //
 // Usage:
 //
@@ -54,7 +59,11 @@ func main() {
 
 	if *list {
 		for _, a := range boltvet.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			scope := "intraprocedural"
+			if a.RunProgram != nil {
+				scope = "interprocedural"
+			}
+			fmt.Printf("%-14s %-16s %s\n", a.Name, scope, a.Doc)
 		}
 		return
 	}

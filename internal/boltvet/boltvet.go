@@ -15,9 +15,17 @@
 //	//boltvet:ignore all -- reason
 //
 // or for a whole function by placing the comment in the function's doc
-// comment. The reason is mandatory: a suppression without ` -- <why>`
-// suppresses nothing and is itself reported by the summary analyzer — the
+// comment, or for a region (generated or test-harness code) by bracketing
+// it:
+//
+//	//boltvet:ignore-begin syncerr -- reason
+//	...
+//	//boltvet:ignore-end
+//
+// The reason is mandatory: a suppression without ` -- <why>` suppresses
+// nothing and is itself reported by the summary analyzer — the
 // suppression is greppable review surface and must say what was reviewed.
+// Unbalanced begin/end pairs likewise suppress nothing and are reported.
 package boltvet
 
 import (
@@ -67,7 +75,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{SyncErr, BarrierOrder, LockCheck, LockOrder, ErrFlow, AtomicField, SummaryCheck}
+	return []*Analyzer{SyncErr, BarrierOrder, LockCheck, LockOrder, ErrFlow, AtomicField, GuardedBy, MustClose, SummaryCheck}
 }
 
 // RunAll applies every analyzer to every package, dropping suppressed
@@ -133,6 +141,86 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 // syntax does not parse as one.
 var ignoreRe = regexp.MustCompile(`^//\s*boltvet:ignore\s+([A-Za-z][A-Za-z, ]*?)\s*(?:--\s*(\S.*))?$`)
 
+// ignoreBeginRe and ignoreEndRe bracket a block suppression. The begin
+// carries the analyzer list and mandatory reason; the end is bare.
+var (
+	ignoreBeginRe = regexp.MustCompile(`^//\s*boltvet:ignore-begin\s+([A-Za-z][A-Za-z, ]*?)\s*(?:--\s*(\S.*))?$`)
+	ignoreEndRe   = regexp.MustCompile(`^//\s*boltvet:ignore-end\s*$`)
+)
+
+// parseIgnoreBlockDirective decodes a begin/end marker: kind is "begin",
+// "end", or "" for non-markers. A reasonless begin parses (so hygiene can
+// report it) but suppresses nothing.
+func parseIgnoreBlockDirective(text string) (kind string, names []string, reason string) {
+	if ignoreEndRe.MatchString(text) {
+		return "end", nil, ""
+	}
+	m := ignoreBeginRe.FindStringSubmatch(text)
+	if m == nil {
+		return "", nil, ""
+	}
+	for _, n := range strings.Split(m[1], ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return "begin", names, strings.TrimSpace(m[2])
+}
+
+// ignoreBlockProblem is one hygiene defect in a file's begin/end pairs,
+// reported by the summary analyzer.
+type ignoreBlockProblem struct {
+	pos  token.Pos
+	kind string // "reasonless", "unterminated", "orphan-end"
+}
+
+// collectIgnoreBlocks pairs a file's begin/end markers into suppression
+// spans (well-formed, reasoned pairs only) and reports the rest.
+func collectIgnoreBlocks(p *Package, f *ast.File) (spans []supSpan, problems []ignoreBlockProblem) {
+	type open struct {
+		line     int
+		names    map[string]bool // nil when reasonless
+		pos      token.Pos
+		file     string
+		reasoned bool
+	}
+	var stack []open
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			kind, list, reason := parseIgnoreBlockDirective(c.Text)
+			switch kind {
+			case "begin":
+				pos := p.Fset.Position(c.Pos())
+				o := open{line: pos.Line, pos: c.Pos(), file: pos.Filename, reasoned: reason != ""}
+				if !o.reasoned {
+					problems = append(problems, ignoreBlockProblem{pos: c.Pos(), kind: "reasonless"})
+				} else if len(list) > 0 {
+					o.names = make(map[string]bool, len(list))
+					for _, n := range list {
+						o.names[n] = true
+					}
+				}
+				stack = append(stack, o)
+			case "end":
+				if len(stack) == 0 {
+					problems = append(problems, ignoreBlockProblem{pos: c.Pos(), kind: "orphan-end"})
+					continue
+				}
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if o.names != nil {
+					spans = append(spans, supSpan{file: o.file, start: o.line, end: p.Fset.Position(c.Pos()).Line, names: o.names})
+				}
+			}
+		}
+	}
+	for _, o := range stack {
+		problems = append(problems, ignoreBlockProblem{pos: o.pos, kind: "unterminated"})
+	}
+	return spans, problems
+}
+
 // suppressions indexes //boltvet:ignore comments by file line and by
 // function extent.
 type suppressions struct {
@@ -188,6 +276,8 @@ func newSuppressions(pkgs []*Package) *suppressions {
 	for _, p := range pkgs {
 		s.fset = p.Fset
 		for _, f := range p.Files {
+			blockSpans, _ := collectIgnoreBlocks(p, f)
+			s.spans = append(s.spans, blockSpans...)
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
 					names := parseIgnoreNames(c.Text)

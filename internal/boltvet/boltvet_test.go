@@ -104,6 +104,8 @@ func TestLockCheckFixture(t *testing.T)    { runFixture(t, "lockcheck", LockChec
 func TestLockOrderFixture(t *testing.T)    { runFixture(t, "lockorder", LockOrder) }
 func TestErrFlowFixture(t *testing.T)      { runFixture(t, "errflow", ErrFlow) }
 func TestAtomicFieldFixture(t *testing.T)  { runFixture(t, "atomicfield", AtomicField) }
+func TestGuardedByFixture(t *testing.T)    { runFixture(t, "guardedby", GuardedBy) }
+func TestMustCloseFixture(t *testing.T)    { runFixture(t, "mustclose", MustClose) }
 
 // TestSummaryCheckFixture asserts directly instead of via // want comments:
 // a directive is the entire line comment (the regexp is $-anchored so prose
@@ -116,18 +118,40 @@ func TestSummaryCheckFixture(t *testing.T) {
 		t.Fatalf("load %s: %v", dir, err)
 	}
 	findings := RunAll(pkgs, []*Analyzer{SummaryCheck})
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	wantParts := []string{
+		"boltvet:ignore without a reason",
+		`unknown analyzer "snycerr"`,
+		"boltvet:ignore-begin without a reason",
+		`ignore-begin names unknown analyzer "snycerr"`,
+		"boltvet:ignore-end has no matching boltvet:ignore-begin",
+		"boltvet:ignore-begin has no matching boltvet:ignore-end",
 	}
-	if !strings.Contains(findings[0].Message, "without a reason") {
-		t.Errorf("finding 0 = %s, want the reasonless report", findings[0])
+	if len(findings) != len(wantParts) {
+		t.Fatalf("got %d findings, want %d: %v", len(findings), len(wantParts), findings)
 	}
-	if !strings.Contains(findings[1].Message, `unknown analyzer "snycerr"`) {
-		t.Errorf("finding 1 = %s, want the unknown-name report", findings[1])
+	for i, part := range wantParts {
+		if !strings.Contains(findings[i].Message, part) {
+			t.Errorf("finding %d = %s, want it to contain %q", i, findings[i], part)
+		}
 	}
 	for _, f := range findings {
 		if filepath.Base(f.Pos.Filename) != "fixture.go" {
 			t.Errorf("finding at %s, want it in fixture.go", f.Pos)
+		}
+	}
+}
+
+// TestIgnoreBlockSuppresses pins the span mechanics end-to-end: the
+// mustclose fixture's blockSuppressed region leaks twice inside a
+// reasoned begin/end pair and must produce no findings there.
+func TestIgnoreBlockSuppresses(t *testing.T) {
+	pkgs, err := Load(LoadConfig{}, filepath.Join("testdata", "src", "mustclose"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, f := range RunAll(pkgs, []*Analyzer{MustClose}) {
+		if f.Pos.Line >= 107 && f.Pos.Line <= 118 {
+			t.Errorf("finding inside the ignore-begin/end block: %s", f)
 		}
 	}
 }
@@ -138,8 +162,8 @@ func TestSummaryCheckFixture(t *testing.T) {
 // here rather than silently vetting nothing.
 func TestFixturesTripTheDriver(t *testing.T) {
 	for _, fixture := range []string{
-		"syncerr", "barrierorder", "lockcheck",
-		"lockorder", "errflow", "atomicfield", "summarycheck",
+		"syncerr", "barrierorder", "lockcheck", "lockorder",
+		"errflow", "atomicfield", "guardedby", "mustclose", "summarycheck",
 	} {
 		pkgs, err := Load(LoadConfig{}, filepath.Join("testdata", "src", fixture))
 		if err != nil {

@@ -32,7 +32,11 @@ const maxSummaryPasses = 16
 type lockMode uint8
 
 const (
-	lockRead lockMode = iota + 1
+	// lockEntry marks a mutex held by the caller's declaration (*Locked
+	// entry seeding), not acquired in the body: the weakest mode, so joins
+	// with self-acquired paths stay caller-held. Only guardedby seeds it.
+	lockEntry lockMode = iota + 1
+	lockRead
 	lockWrite
 )
 
@@ -145,6 +149,15 @@ type lockWalker struct {
 	sites   map[*ast.CallExpr]*CallSite
 	emit    func(acqEvent)
 	inDefer bool
+
+	// onSelector, when set, observes every selector expression with the
+	// lock state current at its evaluation point (guardedby's event
+	// source). The state must not be mutated by the hook.
+	onSelector func(sel *ast.SelectorExpr, st *lockState)
+	// onCall, when set, observes every resolved non-mutex call site with
+	// the state current at the call (deferred marks calls inside defer,
+	// whose execution-time state is unknowable).
+	onCall func(cs *CallSite, st *lockState, deferred bool)
 }
 
 func newLockWalker(prog *Program, fi *FuncInfo, emit func(acqEvent)) *lockWalker {
@@ -333,6 +346,9 @@ func (w *lockWalker) walkExpr(e ast.Expr, st *lockState) {
 		w.walkExpr(v.X, st)
 	case *ast.SelectorExpr:
 		w.walkExpr(v.X, st)
+		if w.onSelector != nil {
+			w.onSelector(v, st)
+		}
 	case *ast.StarExpr:
 		w.walkExpr(v.X, st)
 	case *ast.UnaryExpr:
@@ -390,6 +406,9 @@ func (w *lockWalker) processCall(call *ast.CallExpr, st *lockState) {
 	cs, ok := w.sites[call]
 	if !ok {
 		return
+	}
+	if w.onCall != nil {
+		w.onCall(cs, st, w.inDefer)
 	}
 	for _, target := range cs.Targets {
 		callee := w.prog.Funcs[target]

@@ -10,10 +10,13 @@ import (
 // known analyzers and carry a ` -- <reason>` tail; a reasonless directive
 // suppresses nothing (see parseIgnoreNames) and is reported here, as is a
 // directive naming an analyzer that does not exist (typically a typo that
-// would otherwise silently fail to suppress).
+// would otherwise silently fail to suppress). Block suppressions are held
+// to the same bar: a `//boltvet:ignore-begin` without a reason, a begin
+// with no matching `//boltvet:ignore-end`, and an end with no begin all
+// suppress nothing and are reported.
 var SummaryCheck = &Analyzer{
 	Name: "summary",
-	Doc:  "reports boltvet:ignore directives with no reason or unknown analyzer names",
+	Doc:  "reports boltvet:ignore/ignore-begin directives with no reason, unknown analyzer names, or unbalanced pairs",
 }
 
 // Run is attached in init: runSummaryCheck consults All() for the known
@@ -37,19 +40,36 @@ func runSummaryCheck(p *Package) []Finding {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, reason, ok := parseIgnoreDirective(c.Text)
-				if !ok {
+				if names, reason, ok := parseIgnoreDirective(c.Text); ok {
+					if reason == "" {
+						report(c.Pos(), "boltvet:ignore without a reason suppresses nothing; write `//boltvet:ignore <analyzer> -- <why>`")
+						continue
+					}
+					for _, n := range names {
+						if !known[n] {
+							report(c.Pos(), "boltvet:ignore names unknown analyzer %q; this directive does not suppress it", n)
+						}
+					}
 					continue
 				}
-				if reason == "" {
-					report(c.Pos(), "boltvet:ignore without a reason suppresses nothing; write `//boltvet:ignore <analyzer> -- <why>`")
-					continue
-				}
-				for _, n := range names {
-					if !known[n] {
-						report(c.Pos(), "boltvet:ignore names unknown analyzer %q; this directive does not suppress it", n)
+				if kind, names, reason := parseIgnoreBlockDirective(c.Text); kind == "begin" && reason != "" {
+					for _, n := range names {
+						if !known[n] {
+							report(c.Pos(), "boltvet:ignore-begin names unknown analyzer %q; this block does not suppress it", n)
+						}
 					}
 				}
+			}
+		}
+		_, problems := collectIgnoreBlocks(p, f)
+		for _, pr := range problems {
+			switch pr.kind {
+			case "reasonless":
+				report(pr.pos, "boltvet:ignore-begin without a reason suppresses nothing; write `//boltvet:ignore-begin <analyzer> -- <why>`")
+			case "unterminated":
+				report(pr.pos, "boltvet:ignore-begin has no matching boltvet:ignore-end; the block suppresses nothing")
+			case "orphan-end":
+				report(pr.pos, "boltvet:ignore-end has no matching boltvet:ignore-begin")
 			}
 		}
 	}

@@ -1,0 +1,119 @@
+// Package mustclose is the boltvet fixture for resource-lifetime
+// obligations: values of //boltvet:mustclose types must reach a Close, an
+// ownership transfer, or a leak finding — including values handed down
+// helper chains that never close them.
+package mustclose
+
+import "errors"
+
+// handle is a closable resource.
+//
+//boltvet:mustclose
+type handle struct{ closed bool }
+
+// Close settles the obligation.
+func (h *handle) Close() error {
+	if h.closed {
+		return errors.New("double close")
+	}
+	h.closed = true
+	return nil
+}
+
+// iter is a closable interface; the obligation rides the interface type.
+//
+//boltvet:mustclose
+type iter interface {
+	Next() bool
+	Close() error
+}
+
+type sliceIter struct{ i int }
+
+func (s *sliceIter) Next() bool  { return false }
+func (s *sliceIter) Close() error { return nil }
+
+func newHandle() *handle { return &handle{} } // ok: returned
+
+func open() *handle { return newHandle() } // ok: ownership transfers out
+
+func newIter() iter { return &sliceIter{} }
+
+func discard() {
+	newHandle() // want `result of newHandle is a handle \(//boltvet:mustclose\) but is discarded`
+}
+
+func blank() {
+	_ = newHandle() // want `result of newHandle is a handle \(//boltvet:mustclose\) but is discarded as _`
+}
+
+func closes() error {
+	h := newHandle()
+	defer h.Close()
+	return nil
+}
+
+func closesViaHelper() {
+	h := newHandle()
+	shutdown(h)
+}
+
+func shutdown(h *handle) { _ = h.Close() }
+
+// touch uses the handle without ever settling it; relay and use forward
+// it, so the leak is only visible two and three hops up.
+func touch(h *handle) { _ = h.closed }
+
+func relay(h *handle) { touch(h) }
+
+func use(h *handle) { relay(h) }
+
+func leak() {
+	h := newHandle() // want `h returned by newHandle is never closed, released, stored, or returned by leak \(passed to use -> relay -> touch, which never closes it\)`
+	use(h)
+}
+
+func passLeak() {
+	relay(newHandle()) // want `result of newHandle is a handle \(//boltvet:mustclose\) passed to relay -> touch, which never closes or stores it`
+}
+
+func iterLeak() {
+	it := newIter() // want `it returned by newIter is never closed, released, stored, or returned by iterLeak`
+	for it.Next() {
+	}
+}
+
+func iterOK() error {
+	it := newIter()
+	for it.Next() {
+	}
+	return it.Close()
+}
+
+// pool stores handles: the slice takes ownership.
+type pool struct{ handles []*handle }
+
+func (p *pool) add() {
+	p.handles = append(p.handles, newHandle())
+}
+
+func (p *pool) keep() {
+	h := newHandle()
+	p.handles[0] = h
+}
+
+// suppressed is the line-directive negative.
+func suppressed() {
+	newHandle() //boltvet:ignore mustclose -- fixture: harness closes it
+}
+
+// blockSuppressed is the block-directive negative: the begin/end pair
+// covers the whole region.
+//
+//boltvet:ignore-begin mustclose -- fixture: harness-managed region
+func blockSuppressed() {
+	newHandle()
+	newHandle()
+}
+
+//boltvet:ignore-end

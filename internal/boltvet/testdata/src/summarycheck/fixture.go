@@ -1,7 +1,8 @@
 // Package summarycheck is the fixture corpus for the suppression-hygiene
-// self-check: ignores must carry a reason and name real analyzers. A
-// directive is the whole comment, so the expectations live in
-// TestSummaryCheckFixture rather than trailing `// want` comments.
+// self-check: ignores must carry a reason and name real analyzers, and
+// ignore-begin/ignore-end pairs must balance. A directive is the whole
+// comment, so the expectations live in TestSummaryCheckFixture rather
+// than trailing `// want` comments.
 package summarycheck
 
 func reasonless() {
@@ -17,5 +18,36 @@ func unknownName() {
 // reasoned is the negative: a well-formed suppression produces nothing.
 func reasoned() {
 	//boltvet:ignore syncerr -- fixture: well-formed directive
+	_ = 1
+}
+
+func blockReasonless() {
+	//boltvet:ignore-begin syncerr
+	_ = 1
+	//boltvet:ignore-end
+}
+
+func blockUnknownName() {
+	//boltvet:ignore-begin snycerr -- typo in a block directive
+	_ = 1
+	//boltvet:ignore-end
+}
+
+func blockOrphanEnd() {
+	//boltvet:ignore-end
+	_ = 1
+}
+
+// blockGood is the negative: a balanced, reasoned pair produces nothing.
+func blockGood() {
+	//boltvet:ignore-begin syncerr -- fixture: well-formed block
+	_ = 1
+	//boltvet:ignore-end
+}
+
+// blockUnterminated must stay last in the file: its begin would otherwise
+// pair with a later function's end.
+func blockUnterminated() {
+	//boltvet:ignore-begin errflow -- fixture: begin with no end
 	_ = 1
 }

@@ -290,3 +290,85 @@ func TestTableCacheGetEvictCloseStress(t *testing.T) {
 			n, fs.opens.Load(), fs.closes.Load())
 	}
 }
+
+// TestFDCacheAcquireEvictRace pins the get-then-acquire window: lru.get
+// returns the entry with the lru mutex released, so a concurrent Evict
+// could drop the cache's last reference — closing the descriptor — before
+// the getter took its own. The acquirer must detect the closed entry and
+// fall back to opening a fresh one instead of resurrecting it.
+func TestFDCacheAcquireEvictRace(t *testing.T) {
+	fs := &handleCountFS{FS: vfs.NewMem()}
+	buildTableFile(t, fs, 1, 5)
+	fdc := NewFDCache(fs, 2)
+
+	stop := make(chan struct{})
+	var evictors sync.WaitGroup
+	evictors.Add(1)
+	go func() {
+		defer evictors.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				fdc.Evict(1)
+			}
+		}
+	}()
+
+	const goroutines = 4
+	const rounds = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 1)
+			for i := 0; i < rounds; i++ {
+				e, err := fdc.acquireEntry(1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.file.ReadAt(buf, 0); err != nil {
+					t.Errorf("read on held entry: %v", err)
+					e.release()
+					return
+				}
+				e.release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	evictors.Wait()
+	fdc.Close()
+
+	if n := fs.openHandles(); n != 0 {
+		t.Fatalf("leaked %d descriptors (opened %d, closed %d)", n, fs.opens.Load(), fs.closes.Load())
+	}
+}
+
+// TestFDEntryTryAcquireAfterClose is the deterministic half of the race
+// regression above: once release drops the last reference (closing the
+// file), tryAcquire must refuse to resurrect the entry.
+func TestFDEntryTryAcquireAfterClose(t *testing.T) {
+	fs := &handleCountFS{FS: vfs.NewMem()}
+	buildTableFile(t, fs, 1, 5)
+	f, err := fs.Open(manifest.TableFileName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &fdEntry{file: f, refs: 1}
+	if !e.tryAcquire() {
+		t.Fatal("tryAcquire refused a live entry")
+	}
+	e.release()
+	e.release() // last reference: closes the file
+	if fs.openHandles() != 0 {
+		t.Fatalf("file not closed on last release (open handles: %d)", fs.openHandles())
+	}
+	if e.tryAcquire() {
+		t.Fatal("tryAcquire resurrected a closed entry")
+	}
+}

@@ -23,17 +23,17 @@ import (
 // capacity, displaced by an insert on its key, removed, or cleared.
 type lru[K comparable, V any] struct {
 	// capacity and onEvict are immutable after newLRU.
-	capacity int64
-	onEvict  func(K, V)
+	capacity int64      //boltvet:guardedby none -- immutable after newLRU
+	onEvict  func(K, V) //boltvet:guardedby none -- immutable after newLRU
 
 	// mu guards the map/list state below.
 	mu      sync.Mutex
-	used    int64
-	entries map[K]*list.Element
-	order   *list.List // front = most recent
-	closed  bool
+	used    int64               //boltvet:guardedby mu
+	entries map[K]*list.Element //boltvet:guardedby mu
+	order   *list.List          //boltvet:guardedby mu -- front = most recent
+	closed  bool                //boltvet:guardedby mu
 
-	hits, misses int64
+	hits, misses int64 //boltvet:guardedby mu
 }
 
 type lruEntry[K comparable, V any] struct {

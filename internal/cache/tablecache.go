@@ -12,16 +12,36 @@ import (
 // fdEntry is a shared physical-file handle with reference counting so an
 // evicted descriptor is only closed once no table reader uses it.
 type fdEntry struct {
-	mu     sync.Mutex
-	file   vfs.File
-	refs   int // table readers + (1 while resident in the fd cache)
-	closed bool
+	mu sync.Mutex
+	// file is set at creation and never reassigned; the single Close is
+	// serialized by the closed flag flipping under mu.
+	file   vfs.File //boltvet:guardedby none -- immutable after creation; Close-once via the closed flag
+	refs   int      //boltvet:guardedby mu -- table readers + (1 while resident in the fd cache)
+	closed bool     //boltvet:guardedby mu
 }
 
+// acquire takes a reference on behalf of a caller that already holds one
+// (the leader handing out waiter references), so the entry cannot be
+// concurrently closed.
 func (e *fdEntry) acquire() {
 	e.mu.Lock()
 	e.refs++
 	e.mu.Unlock()
+}
+
+// tryAcquire takes a reference unless the entry has already been closed.
+// Cache lookups must use this, not acquire: lru.get returns the entry
+// with the lru mutex released, so a concurrent Evict can drop the
+// cache's last reference — closing the descriptor — before the getter
+// takes its own. A false return means "evicted under you: re-open".
+func (e *fdEntry) tryAcquire() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.refs++
+	return true
 }
 
 func (e *fdEntry) release() {
@@ -40,12 +60,12 @@ func (e *fdEntry) release() {
 // fdCall is one in-flight descriptor open shared by every goroutine that
 // missed on the same physical file while it was being opened.
 type fdCall struct {
-	done chan struct{}
+	done chan struct{} //boltvet:guardedby none -- created once, closed once by the leader
 	// waiters is written under FDCache.mu before done is closed; the
 	// leader pre-acquires one reference per waiter at publish time.
-	waiters int
-	e       *fdEntry
-	err     error
+	waiters int      //boltvet:guardedby none -- written under FDCache.mu (a foreign mutex, outside the vocabulary)
+	e       *fdEntry //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+	err     error    //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
 }
 
 // FDCache caches open physical-file handles keyed by physical file number.
@@ -53,12 +73,12 @@ type fdCall struct {
 // share one descriptor, so the filesystem open cost is paid once per
 // compaction file instead of once per SSTable.
 type FDCache struct {
-	fs  vfs.FS
-	lru *lru[uint64, *fdEntry]
+	fs  vfs.FS                 //boltvet:guardedby none -- immutable after NewFDCache
+	lru *lru[uint64, *fdEntry] //boltvet:guardedby none -- immutable after NewFDCache; lru locks itself
 
 	// mu guards the singleflight state below.
 	mu       sync.Mutex
-	inflight map[uint64]*fdCall
+	inflight map[uint64]*fdCall //boltvet:guardedby mu
 }
 
 // NewFDCache returns an fd cache over fs holding up to capacity handles.
@@ -75,8 +95,7 @@ func NewFDCache(fs vfs.FS, capacity int) *FDCache {
 // Concurrent misses on the same file are coalesced into one open: exactly
 // one goroutine touches the filesystem, the rest wait and share its handle.
 func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
-	if e, ok := c.lru.get(physNum); ok {
-		e.acquire()
+	if e, ok := c.lru.get(physNum); ok && e.tryAcquire() {
 		return e, nil
 	}
 	c.mu.Lock()
@@ -90,10 +109,9 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 		// The leader acquired this waiter's reference before publishing.
 		return call.e, nil
 	}
-	if e, ok := c.lru.get(physNum); ok {
+	if e, ok := c.lru.get(physNum); ok && e.tryAcquire() {
 		// A previous flight completed between the miss and taking mu.
 		c.mu.Unlock()
-		e.acquire()
 		return e, nil
 	}
 	call := &fdCall{done: make(chan struct{})}
@@ -154,32 +172,32 @@ func (t *Table) close() {
 // A miss re-opens the table, which costs one metadata read of the table's
 // filter+index blocks — proportional to table size.
 type TableCache struct {
-	fs         vfs.FS
-	fdCache    *FDCache // nil means descriptors are opened per table
-	blockCache sstable.BlockCache
-	cfg        sstable.Config
-	lru        *lru[uint64, *Table]
+	fs         vfs.FS               //boltvet:guardedby none -- immutable after NewTableCache
+	fdCache    *FDCache             //boltvet:guardedby none -- immutable after NewTableCache; nil means descriptors are opened per table
+	blockCache sstable.BlockCache   //boltvet:guardedby none -- immutable after NewTableCache
+	cfg        sstable.Config       //boltvet:guardedby none -- immutable after NewTableCache
+	lru        *lru[uint64, *Table] //boltvet:guardedby none -- immutable after NewTableCache; lru locks itself
 
 	// mu guards the singleflight and miss-accounting state below.
 	mu       sync.Mutex
-	inflight map[uint64]*tableCall
+	inflight map[uint64]*tableCall //boltvet:guardedby mu
 	// metaBytesRead accumulates the bytes of filter+index fetched on
 	// misses — the metadata-caching overhead measured in Figure 6. The
 	// singleflight path charges it once per actual read, not once per
 	// racing caller.
-	metaBytesRead int64
+	metaBytesRead int64 //boltvet:guardedby mu
 }
 
 // tableCall is one in-flight table open shared by every goroutine that
 // missed on the same table number while its metadata was being read.
 type tableCall struct {
-	done chan struct{}
+	done chan struct{} //boltvet:guardedby none -- created once, closed once by the leader
 	// waiters is written under TableCache.mu before done is closed; the
 	// leader pre-acquires one fd reference per waiter at publish time.
-	waiters int
-	r       *sstable.Reader
-	fd      *fdEntry
-	err     error
+	waiters int             //boltvet:guardedby none -- written under TableCache.mu (a foreign mutex, outside the vocabulary)
+	r       *sstable.Reader //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+	fd      *fdEntry        //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+	err     error           //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
 }
 
 // NewTableCache returns a table cache holding up to capacity tables.
@@ -201,8 +219,7 @@ func NewTableCache(fs vfs.FS, capacity int, fdCache *FDCache, blockCache sstable
 // exactly one goroutine opens the descriptor and reads filter+index, the
 // rest wait and share the resulting reader.
 func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), error) {
-	if t, ok := c.lru.get(meta.Num); ok {
-		t.fd.acquire()
+	if t, ok := c.lru.get(meta.Num); ok && t.fd.tryAcquire() {
 		return t.Reader, t.fd.release, nil
 	}
 	c.mu.Lock()
@@ -216,10 +233,9 @@ func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), erro
 		// The leader acquired this waiter's fd reference before publishing.
 		return call.r, call.fd.release, nil
 	}
-	if t, ok := c.lru.get(meta.Num); ok {
+	if t, ok := c.lru.get(meta.Num); ok && t.fd.tryAcquire() {
 		// A previous flight completed between the miss and taking mu.
 		c.mu.Unlock()
-		t.fd.acquire()
 		return t.Reader, t.fd.release, nil
 	}
 	call := &tableCall{done: make(chan struct{})}

@@ -12,13 +12,13 @@ import (
 // that would share an input table with it or write an overlapping range
 // into the same output level.
 type Reservation struct {
-	level       int
-	outputLevel int
+	level       int //boltvet:guardedby none -- immutable after Reserve
+	outputLevel int //boltvet:guardedby none -- immutable after Reserve
 	// smallest/largest span Inputs, NextInputs, AND Settled: promoted
 	// tables land at the output level without rewrite, so their range must
 	// be protected against concurrent outputs just like rewritten data.
-	smallest, largest []byte
-	files             []uint64
+	smallest, largest []byte   //boltvet:guardedby none -- immutable after Reserve
+	files             []uint64 //boltvet:guardedby none -- immutable after Reserve
 }
 
 // InFlight is the registry of reservations for currently executing
@@ -27,8 +27,8 @@ type Reservation struct {
 // releasing. A nil *InFlight is valid and always empty, so tests can drive
 // the picker without one.
 type InFlight struct {
-	res    []*Reservation
-	byFile map[uint64]int // reference counts, across all reservations
+	res    []*Reservation //boltvet:guardedby none -- externally serialized under the engine mutex (see type doc)
+	byFile map[uint64]int //boltvet:guardedby none -- reference counts, across all reservations; engine-mutex serialized
 }
 
 // NewInFlight returns an empty registry.

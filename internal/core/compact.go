@@ -110,8 +110,13 @@ func (db *DB) CompactRange(start, limit []byte) error {
 // forceMemtableSwitchLocked rotates the memtable regardless of its size so
 // a flush of current contents can be awaited.
 func (db *DB) forceMemtableSwitchLocked() error {
-	for db.imm != nil && !db.bgStoppedLocked() {
+	// Waiting on leaderActive too: the group-commit leader appends to the
+	// current WAL writer with mu released, so rotating (and closing) it
+	// here while a leader is in that window would race the append.
+	for (db.imm != nil || db.leaderActive) && !db.bgStoppedLocked() {
+		db.rotateWaiters++
 		db.cond.Wait()
+		db.rotateWaiters--
 	}
 	if db.closed {
 		return ErrClosed
@@ -615,7 +620,7 @@ func (db *DB) logAndApplyLocked(edit *manifest.VersionEdit) error {
 	db.mu.Lock()
 	p := db.vs.Prepare(edit)
 	db.mu.Unlock()
-	err := db.vs.CommitPrepared(p)
+	err := db.vs.CommitPrepared(p) //boltvet:ignore guardedby -- the vs pointer is stable; manifestMu serializes commits, and the prepared state p is private to this call
 	db.mu.Lock()
 	if err == nil {
 		db.vs.Install(p)

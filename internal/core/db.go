@@ -28,42 +28,48 @@ var ErrNotFound = errors.New("core: not found")
 var ErrClosed = errors.New("core: database closed")
 
 // DB is one LSM-tree instance.
+//
+//boltvet:mustclose
 type DB struct {
 	// Immutable after Open (set before any background goroutine starts):
-	cfg Config
-	fs  vfs.FS // counting-wrapped
-	io  *IOCounters
-	met *metrics.Metrics
+	cfg Config           //boltvet:guardedby none -- immutable after Open
+	fs  vfs.FS           //boltvet:guardedby none -- immutable after Open (counting-wrapped)
+	io  *IOCounters      //boltvet:guardedby none -- immutable pointer; counters are atomic
+	met *metrics.Metrics //boltvet:guardedby none -- immutable pointer; counters are atomic
 	// ev is the engine event trace. Emissions happen only while mu is NOT
 	// held, so the user listener never runs under the engine mutex.
-	ev *events.Log
+	ev *events.Log //boltvet:guardedby none -- immutable after Open; Log locks itself
 
-	blockCache *cache.BlockCache
-	fdCache    *cache.FDCache
-	tableCache *cache.TableCache
-	picker     *compaction.Picker
+	blockCache *cache.BlockCache  //boltvet:guardedby none -- immutable after Open; cache locks itself
+	fdCache    *cache.FDCache     //boltvet:guardedby none -- immutable after Open; cache locks itself
+	tableCache *cache.TableCache  //boltvet:guardedby none -- immutable after Open; cache locks itself
+	picker     *compaction.Picker //boltvet:guardedby none -- immutable after Open; stateless picker
 
 	// mu guards all mutable state below except where noted.
 	mu   sync.Mutex
 	cond *sync.Cond // background state changes (flush/compaction done)
 
-	mem    *memtable.MemTable
-	imm    *memtable.MemTable
-	walW   *wal.Writer
-	walNum uint64
-	vs     *manifest.VersionSet
+	mem    *memtable.MemTable   //boltvet:guardedby mu
+	imm    *memtable.MemTable   //boltvet:guardedby mu
+	walW   *wal.Writer          //boltvet:guardedby mu
+	walNum uint64               //boltvet:guardedby mu
+	vs     *manifest.VersionSet //boltvet:guardedby mu
 
 	// visibleSeq is the highest sequence number visible to reads; it is
 	// atomic so the read path can snapshot it without mu.
-	visibleSeq atomic.Uint64
+	visibleSeq atomic.Uint64 //boltvet:guardedby atomic
 
-	writers []*dbWriter
+	writers []*dbWriter //boltvet:guardedby mu
 	// leaderActive is true while the head of writers runs its group commit
 	// (including its off-mu WAL append). Close waits for it so the WAL
 	// writer is never closed under an in-flight append.
-	leaderActive bool
+	leaderActive bool //boltvet:guardedby mu
+	// rotateWaiters counts foreground WAL rotations
+	// (forceMemtableSwitchLocked) waiting for the leader's off-mu append
+	// window to end; a finishing leader broadcasts cond when it is nonzero.
+	rotateWaiters int //boltvet:guardedby mu
 
-	snapshots *list.List // of keys.Seq, ascending insertion order
+	snapshots *list.List //boltvet:guardedby mu -- of keys.Seq, ascending insertion order
 
 	// manifestMu serializes MANIFEST commits; acquired without mu held.
 	manifestMu sync.Mutex
@@ -73,39 +79,39 @@ type DB struct {
 	// mode. compactWorkers counts live pool workers; workerSlots tracks
 	// which 1-based worker IDs are taken so event traces stay stable.
 	// manualActive excludes the scheduler while CompactRange runs.
-	flushActive    bool
-	compactWorkers int
-	workerSlots    []bool
-	manualActive   bool
+	flushActive    bool   //boltvet:guardedby mu
+	compactWorkers int    //boltvet:guardedby mu
+	workerSlots    []bool //boltvet:guardedby mu
+	manualActive   bool   //boltvet:guardedby mu
 	// inflight registers the footprint of every executing compaction so
 	// concurrent picks stay conflict-free; guarded by mu like the rest.
-	inflight *compaction.InFlight
+	inflight *compaction.InFlight //boltvet:guardedby mu
 	// nextJobID numbers flushes and compactions for event correlation.
-	nextJobID uint64
-	bgErr     error
-	closed    bool
+	nextJobID uint64 //boltvet:guardedby mu
+	bgErr     error  //boltvet:guardedby mu
+	closed    bool   //boltvet:guardedby mu
 
 	// readOnly marks the degraded mode entered when background work
 	// exhausts its retry budget or hits a permanent fault (see bgerror.go):
 	// reads keep serving the last committed state, writes and manual
 	// compactions fail with a ReadOnlyError wrapping roCause.
-	readOnly bool
-	roCause  error
+	readOnly bool  //boltvet:guardedby mu
+	roCause  error //boltvet:guardedby mu
 	// flushFails / compactFails count consecutive failed background
 	// attempts, driving the retry backoff; reset on the next success.
-	flushFails   int
-	compactFails int
+	flushFails   int //boltvet:guardedby mu
+	compactFails int //boltvet:guardedby mu
 
 	// deadRanges records, per physical file, byte ranges whose hole punch
 	// the backend could not perform: logically dead but not reclaimed.
-	deadRanges map[uint64][]deadRange
+	deadRanges map[uint64][]deadRange //boltvet:guardedby mu
 
-	seekCompactFile  *manifest.FileMeta
-	seekCompactLevel int
+	seekCompactFile  *manifest.FileMeta //boltvet:guardedby mu
+	seekCompactLevel int                //boltvet:guardedby mu
 
-	obsoleteLogs []uint64
-	zombies      []*manifest.FileMeta
-	physRefs     map[uint64]int
+	obsoleteLogs []uint64             //boltvet:guardedby mu
+	zombies      []*manifest.FileMeta //boltvet:guardedby mu
+	physRefs     map[uint64]int       //boltvet:guardedby mu
 }
 
 // Open opens (creating if necessary) a database on fs.
@@ -170,7 +176,7 @@ func (db *DB) sstConfig() sstable.Config {
 
 // recover loads or creates the on-disk state.
 //
-//boltvet:ignore lockcheck -- open-time initialization; no background goroutine exists until Open returns
+//boltvet:ignore lockcheck, guardedby -- open-time initialization; no background goroutine exists until Open returns
 func (db *DB) recover() error {
 	names, err := db.fs.List()
 	if err != nil {
@@ -271,7 +277,7 @@ func (db *DB) recover() error {
 
 // removeOrphans deletes files not referenced by the recovered state.
 //
-//boltvet:ignore lockcheck -- called only from recover, before concurrency starts
+//boltvet:ignore lockcheck, guardedby -- called only from recover, before concurrency starts
 func (db *DB) removeOrphans() {
 	names, err := db.fs.List()
 	if err != nil {
@@ -341,6 +347,8 @@ func (db *DB) Delete(key []byte) error {
 func (db *DB) VisibleSeq() keys.Seq { return keys.Seq(db.visibleSeq.Load()) }
 
 // Snapshot pins a consistent read view.
+//
+//boltvet:mustclose
 type Snapshot struct {
 	db   *DB
 	seq  keys.Seq
@@ -555,7 +563,7 @@ func (db *DB) Close() error {
 	// the WAL writer alive until the in-flight group-commit leader has
 	// finished its off-mu append: new writers are rejected at entry once
 	// closed is set, and each queued writer becomes leader in turn, sees
-	// closed in makeRoomForWrite, and returns ErrClosed — so the queue
+	// closed in makeRoomForWriteLocked, and returns ErrClosed — so the queue
 	// drains itself through the normal leader chain.
 	for db.flushActive || db.compactWorkers > 0 || db.manualActive ||
 		db.leaderActive || len(db.writers) > 0 {
@@ -564,6 +572,7 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 
 	var firstErr error
+	//boltvet:ignore-begin guardedby -- post-drain teardown: closed is set and every background path has unwound, so this goroutine is the last one standing
 	if db.cfg.SyncWAL {
 		if err := db.walW.Sync(); err != nil && firstErr == nil {
 			firstErr = err
@@ -575,6 +584,7 @@ func (db *DB) Close() error {
 	if err := db.vs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	//boltvet:ignore-end
 	db.tableCache.Close()
 	if db.fdCache != nil {
 		db.fdCache.Close()

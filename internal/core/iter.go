@@ -143,6 +143,8 @@ func (l *levelIter) Close() error {
 // DBIter is a forward iterator over the user-visible key space at a fixed
 // sequence number: internal versions are collapsed to the newest visible
 // one and tombstoned keys are skipped.
+//
+//boltvet:mustclose
 type DBIter struct {
 	db     *DB
 	seq    keys.Seq

@@ -67,7 +67,7 @@ func (db *DB) Write(b *batch.Batch) error {
 
 	// This writer is the leader.
 	db.leaderActive = true
-	err := db.makeRoomForWrite()
+	err := db.makeRoomForWriteLocked()
 	var group *batch.Batch
 	var members []*dbWriter
 	if err == nil {
@@ -125,8 +125,10 @@ func (db *DB) Write(b *batch.Batch) error {
 	if len(db.writers) > 0 {
 		db.writers[0].cv.Signal()
 	}
-	if db.closed {
-		// Close drains the writer queue before touching the WAL files.
+	if db.closed || db.rotateWaiters > 0 {
+		// Close drains the writer queue before touching the WAL files, and
+		// forceMemtableSwitchLocked must not rotate the WAL writer out from
+		// under this leader's off-mu append; both wait on cond.
 		db.cond.Broadcast()
 	}
 	db.mu.Unlock()
@@ -213,9 +215,9 @@ func (db *DB) insertFollower(w *dbWriter) {
 	db.mu.Lock()
 }
 
-// makeRoomForWrite applies the write governors and switches memtables.
+// makeRoomForWriteLocked applies the write governors and switches memtables.
 // Called with mu held by the leader; may release and re-acquire mu.
-func (db *DB) makeRoomForWrite() error {
+func (db *DB) makeRoomForWriteLocked() error {
 	slowdownDone := false
 	for {
 		switch {

@@ -197,14 +197,14 @@ type Listener func(Event)
 // call NewLog. All methods are safe for concurrent use.
 type Log struct {
 	// listener is immutable after NewLog and invoked outside mu.
-	listener Listener
+	listener Listener //boltvet:guardedby none -- immutable after NewLog; invoked outside mu by design
 
 	// mu guards the ring state below.
 	mu  sync.Mutex
-	buf []Event
+	buf []Event //boltvet:guardedby mu
 	// next is the total number of events emitted; buf[(next-1)%len] is the
 	// newest event.
-	next uint64
+	next uint64 //boltvet:guardedby mu
 }
 
 // NewLog returns a log retaining the last capacity events (minimum 1),

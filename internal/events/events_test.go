@@ -168,3 +168,37 @@ func BenchmarkEmit(b *testing.B) {
 		l.Emit(Event{Type: TypeCompactionEnd, Time: now, Level: 1, OutputLevel: 2, BytesOut: 1 << 20, Barriers: 2})
 	}
 }
+
+// TestListenerSeesEveryWrappedEmission pins the listener/ring interaction
+// across wraparound: the ring retains only the last capacity events, but
+// the listener must see every emission, in order, with the same Seq the
+// ring assigned — overwriting an old slot must not swallow or reorder the
+// synchronous delivery.
+func TestListenerSeesEveryWrappedEmission(t *testing.T) {
+	const capacity, emitted = 3, 11
+	var heard []Event
+	l := NewLog(capacity, func(e Event) { heard = append(heard, e) })
+	for i := 0; i < emitted; i++ {
+		l.Emit(Event{Type: TypeWALRotation, File: uint64(i)})
+	}
+
+	if len(heard) != emitted {
+		t.Fatalf("listener heard %d events, want %d", len(heard), emitted)
+	}
+	for i, e := range heard {
+		if e.File != uint64(i) || e.Seq != uint64(i+1) {
+			t.Fatalf("heard[%d]: File=%d Seq=%d, want File=%d Seq=%d", i, e.File, e.Seq, i, i+1)
+		}
+	}
+
+	retained := l.Events()
+	if len(retained) != capacity {
+		t.Fatalf("retained %d events, want %d", len(retained), capacity)
+	}
+	for i, e := range retained {
+		want := heard[emitted-capacity+i]
+		if e.File != want.File || e.Seq != want.Seq {
+			t.Fatalf("retained[%d]: File=%d Seq=%d, want File=%d Seq=%d", i, e.File, e.Seq, want.File, want.Seq)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 //	if err := it.Err(); err != nil { ... }
 //
 // Key and Value return slices valid only until the next positioning call.
+//
+//boltvet:mustclose
 type Iterator interface {
 	// First positions at the first entry and reports validity.
 	First() bool

@@ -158,3 +158,64 @@ func TestMergingEqualsSortProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// closeRecorder wraps a source to observe Close calls and inject a Close
+// error.
+type closeRecorder struct {
+	Iterator
+	closeErr error
+	closed   int
+}
+
+func (c *closeRecorder) Close() error {
+	c.closed++
+	if err := c.Iterator.Close(); c.closeErr == nil {
+		return err
+	}
+	return c.closeErr
+}
+
+// TestMergingCloseAggregatesErrors pins the Close contract: the first
+// source error is the one returned, and every source is still closed —
+// a failing source must not strand the descriptors behind later ones.
+func TestMergingCloseAggregatesErrors(t *testing.T) {
+	errA := errors.New("close A failed")
+	errB := errors.New("close B failed")
+	sources := []*closeRecorder{
+		{Iterator: NewSlice(nil)},
+		{Iterator: NewSlice(nil), closeErr: errA},
+		{Iterator: NewSlice(nil), closeErr: errB},
+		{Iterator: NewSlice(nil)},
+	}
+	var asIter []Iterator
+	for _, s := range sources {
+		asIter = append(asIter, s)
+	}
+	m := NewMerging(asIter...)
+	if err := m.Close(); !errors.Is(err, errA) {
+		t.Fatalf("Close = %v, want the first source error %v", err, errA)
+	}
+	for i, s := range sources {
+		if s.closed != 1 {
+			t.Errorf("source %d closed %d times, want exactly once", i, s.closed)
+		}
+	}
+}
+
+// TestMergingCloseCleanSources is the aggregation baseline: all sources
+// close cleanly and Close reports nil.
+func TestMergingCloseCleanSources(t *testing.T) {
+	sources := []*closeRecorder{
+		{Iterator: NewSlice(nil)},
+		{Iterator: NewSlice(nil)},
+	}
+	m := NewMerging(sources[0], sources[1])
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close = %v, want nil", err)
+	}
+	for i, s := range sources {
+		if s.closed != 1 {
+			t.Errorf("source %d closed %d times, want exactly once", i, s.closed)
+		}
+	}
+}

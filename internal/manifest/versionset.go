@@ -20,25 +20,25 @@ const maxManifestSize = 4 << 20
 // with the engine's mutex held; version pinning (Ref/Unref) is safe from
 // any goroutine.
 type VersionSet struct {
-	fs vfs.FS
+	fs vfs.FS //boltvet:guardedby none -- immutable after Create/Recover
 
-	current     *Version
-	live        versionList
-	nextFileNum uint64
-	lastSeq     uint64
-	logNum      uint64 // WAL fully reflected in tables
+	current     *Version    //boltvet:guardedby none -- externally serialized: mutated only under the engine mutex (see type doc)
+	live        versionList //boltvet:guardedby none -- externally serialized under the engine mutex; each Version refcounts itself
+	nextFileNum uint64      //boltvet:guardedby none -- externally serialized under the engine mutex
+	lastSeq     uint64      //boltvet:guardedby none -- externally serialized under the engine mutex
+	logNum      uint64      //boltvet:guardedby none -- WAL fully reflected in tables; engine-mutex serialized
 
-	manifestNum  uint64
-	manifestFile vfs.File
-	manifestLog  *logrec.Writer
-	manifestSize int64
+	manifestNum  uint64         //boltvet:guardedby none -- externally serialized: commits hold the engine's manifestMu
+	manifestFile vfs.File       //boltvet:guardedby none -- externally serialized: commits hold the engine's manifestMu
+	manifestLog  *logrec.Writer //boltvet:guardedby none -- externally serialized: commits hold the engine's manifestMu
+	manifestSize int64          //boltvet:guardedby none -- externally serialized: commits hold the engine's manifestMu
 	// forceRotate makes the next Prepare rotate regardless of size: after
 	// a failed CommitPrepared the MANIFEST tail may hold a torn or
 	// unsynced record, and a later successful sync of the same file would
 	// make the failed record durable too.
-	forceRotate bool
+	forceRotate bool //boltvet:guardedby none -- externally serialized under the engine mutex
 
-	compactPointers [NumLevels]keys.InternalKey
+	compactPointers [NumLevels]keys.InternalKey //boltvet:guardedby none -- externally serialized under the engine mutex
 }
 
 // Create initializes a brand-new database in fs: an empty MANIFEST plus

@@ -15,19 +15,19 @@ import (
 const maxHeight = 12
 
 type node struct {
-	key   keys.InternalKey
-	value []byte
-	next  []atomic.Pointer[node] // len == node height
+	key   keys.InternalKey       //boltvet:guardedby none -- immutable once the node is linked into the list
+	value []byte                 //boltvet:guardedby none -- immutable once the node is linked into the list
+	next  []atomic.Pointer[node] //boltvet:guardedby none -- slice header immutable (len == node height); elements are atomic pointers
 }
 
 // MemTable is a concurrent skiplist of internal-key entries. Construct
 // with New.
 type MemTable struct {
-	head    *node
-	height  atomic.Int32
-	size    atomic.Int64 // approximate bytes
-	count   atomic.Int64
-	rngSeed atomic.Uint64
+	head    *node         //boltvet:guardedby none -- immutable after New; node links are atomic
+	height  atomic.Int32  //boltvet:guardedby atomic
+	size    atomic.Int64  //boltvet:guardedby atomic -- approximate bytes
+	count   atomic.Int64  //boltvet:guardedby atomic
+	rngSeed atomic.Uint64 //boltvet:guardedby atomic
 }
 
 // New returns an empty memtable.

@@ -33,6 +33,8 @@ var ErrPunchHoleUnsupported = errors.New("vfs: punch hole unsupported by backend
 // Write; files opened with Open support random reads via ReadAt. The Mem
 // backend supports both on every handle; the OS backend opens files with
 // modes matching the method used.
+//
+//boltvet:mustclose
 type File interface {
 	io.Closer
 	// Write appends p to the file.

@@ -14,11 +14,16 @@ import (
 	"github.com/bolt-lsm/bolt/internal/vfs"
 )
 
-// Writer appends batches to a log file.
+// Writer appends batches to a log file. It is not self-locking: the
+// engine serializes all calls — appends through the group-commit leader
+// (which owns the writer for its off-mu append window) and Close through
+// the post-drain teardown.
+//
+//boltvet:mustclose
 type Writer struct {
-	f      vfs.File
-	lw     *logrec.Writer
-	closed bool
+	f      vfs.File       //boltvet:guardedby none -- externally serialized by the engine (see type doc)
+	lw     *logrec.Writer //boltvet:guardedby none -- externally serialized by the engine (see type doc)
+	closed bool           //boltvet:guardedby none -- externally serialized by the engine (see type doc)
 }
 
 // NewWriter creates the log file `name` in fs.
