@@ -38,6 +38,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/events"
 	"github.com/bolt-lsm/bolt/internal/metrics"
 	"github.com/bolt-lsm/bolt/internal/simdisk"
+	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
 )
 
@@ -146,6 +147,16 @@ type Options struct {
 
 	// SyncWrites syncs the WAL on every commit (durable acknowledgements).
 	SyncWrites bool
+
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval, one pass verifies every live table's block checksums
+	// (bypassing the block cache, so at-rest bit rot is caught even for
+	// cached data) and quarantines corrupt tables for salvage. Zero
+	// disables the scrubber; DB.Scrub runs a pass on demand either way.
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec throttles scrub read bandwidth (default 32 MB/s;
+	// negative disables throttling).
+	ScrubBytesPerSec int64
 
 	// MaxBackgroundCompactions bounds the background compaction worker
 	// pool: up to this many compactions with disjoint inputs and
@@ -302,6 +313,8 @@ func (o *Options) coreConfig() core.Config {
 		c.BlockSize = o.BlockSize
 	}
 	c.SyncWAL = o.SyncWrites
+	c.ScrubInterval = o.ScrubInterval
+	c.ScrubBytesPerSec = o.ScrubBytesPerSec
 	c.MaxBackgroundCompactions = o.MaxBackgroundCompactions
 	c.VerifyInvariants = o.VerifyInvariants
 	c.EventLogSize = o.EventLogSize
@@ -630,6 +643,24 @@ func (db *DB) SimStats() (SimStats, bool) {
 // error, or the read-only degradation (matched by ErrReadOnlyMode).
 func (db *DB) WaitIdle() error { return db.inner.WaitIdle() }
 
+// ErrCorrupt is the table-corruption sentinel: every corruption finding —
+// a checksum mismatch surfacing from a read, a RangeCorruptError for a
+// quarantined span — matches errors.Is(err, ErrCorrupt).
+var ErrCorrupt = sstable.ErrCorrupt
+
+// RangeCorruptError is returned by reads whose key falls inside the span
+// of a quarantined (corrupt) table: the error names the unavailable
+// user-key range while keys outside it — and all writes — keep working.
+// The range recovers once the salvage compaction rewrites the table's
+// readable blocks. Match with errors.As.
+type RangeCorruptError = core.RangeCorruptError
+
+// Scrub runs one synchronous integrity pass over all live tables,
+// verifying every block checksum and quarantining corrupt tables for
+// salvage. The background scrubber (Options.ScrubInterval) runs the same
+// pass periodically.
+func (db *DB) Scrub() error { return db.inner.Scrub() }
+
 // CompactRange synchronously flushes the memtable and compacts every table
 // overlapping the user-key range [start, limit] (nil = unbounded) down the
 // tree. CompactRange(nil, nil) settles the whole database.
@@ -671,6 +702,9 @@ func Repair(path string) (RepairReport, error) {
 // method renders a one-line human-readable form.
 type Event = events.Event
 
+// EventType labels an Event's kind; the Event* constants enumerate it.
+type EventType = events.Type
+
 // Event types, for filtering traces and listener callbacks.
 const (
 	EventFlushStart        = events.TypeFlushStart
@@ -685,6 +719,11 @@ const (
 	EventWALRotation       = events.TypeWALRotation
 	EventBgRetry           = events.TypeBgRetry
 	EventBgDegraded        = events.TypeBgDegraded
+	EventScrubStart        = events.TypeScrubStart
+	EventScrubEnd          = events.TypeScrubEnd
+	EventScrubFinding      = events.TypeScrubFinding
+	EventQuarantine        = events.TypeQuarantine
+	EventQuarantineClear   = events.TypeQuarantineClear
 )
 
 // Events returns the retained event trace, oldest first. The ring holds

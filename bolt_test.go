@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -263,5 +264,52 @@ func TestPublicCompactRangeAndRepair(t *testing.T) {
 		if _, err := db2.Get([]byte(fmt.Sprintf("k%06d", i))); err != nil {
 			t.Fatalf("k%06d lost after repair: %v", i, err)
 		}
+	}
+}
+
+func TestPublicScrubAndIntegrityMetrics(t *testing.T) {
+	o := smallOpts(ProfileBoLT)
+	o.ScrubBytesPerSec = -1 // unthrottled: this is a smoke pass, not a pacing test
+	db, err := OpenMem(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	var m strings.Builder
+	if err := db.WriteMetrics(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"bolt_scrub_passes_total 1",
+		"bolt_scrub_corruptions_total 0",
+		"bolt_quarantined_tables 0",
+	} {
+		if !strings.Contains(m.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m.String())
+		}
+	}
+	if !strings.Contains(m.String(), "bolt_scrub_bytes_read_total") {
+		t.Fatal("scrub byte counter not exported")
+	}
+	// The scrub/quarantine event types render with names, not numbers.
+	for _, ev := range []EventType{EventScrubStart, EventScrubEnd, EventScrubFinding, EventQuarantine, EventQuarantineClear} {
+		if s := ev.String(); strings.HasPrefix(s, "event(") {
+			t.Fatalf("event type %d has no name", ev)
+		}
+	}
+	// The typed range error matches the public corruption sentinel.
+	if !errors.Is(&RangeCorruptError{}, ErrCorrupt) {
+		t.Fatal("RangeCorruptError does not match ErrCorrupt")
 	}
 }

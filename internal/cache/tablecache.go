@@ -288,7 +288,7 @@ func (c *TableCache) openTable(meta *manifest.FileMeta) (*sstable.Reader, *fdEnt
 		}
 		fd = &fdEntry{file: f, refs: 1}
 	}
-	r, err := sstable.OpenReader(f, meta.Num, meta.Offset, meta.Size, c.blockCache)
+	r, err := sstable.OpenReader(f, meta.Num, meta.PhysNum, meta.Offset, meta.Size, c.blockCache)
 	if err != nil {
 		fd.release()
 		return nil, nil, fmt.Errorf("cache: open table %d: %w", meta.Num, err)

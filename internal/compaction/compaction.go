@@ -89,6 +89,10 @@ const (
 	ReasonSeek = "seek"
 	// ReasonManual is a CompactRange request.
 	ReasonManual = "manual"
+	// ReasonSalvage is a quarantined-table salvage: a same-level rewrite of
+	// the table's still-checksummed blocks that deletes the corrupt table
+	// (clearing its quarantine).
+	ReasonSalvage = "salvage"
 )
 
 // Compaction describes one unit of background work chosen by the picker.
@@ -197,6 +201,11 @@ type Env struct {
 // are all reserved by in-flight work yields the next-best level instead
 // of no pick at all.
 func (p *Picker) Pick(v *manifest.Version, env Env) *Compaction {
+	// Salvage first: a quarantined table is failing reads over its whole key
+	// span, so shrinking that blast radius outranks any size trigger.
+	if c := p.PickSalvage(v, env); c != nil {
+		return c
+	}
 	if c := p.pickSeek(v, env); c != nil {
 		return c
 	}
@@ -216,11 +225,55 @@ func (p *Picker) Pick(v *manifest.Version, env Env) *Compaction {
 			}
 			c = p.pickLeveled(v, level, pointer, env.InFlight)
 		}
-		if c != nil && !env.InFlight.Conflicts(c) {
+		if c != nil && !touchesQuarantined(v, c) && !env.InFlight.Conflicts(c) {
 			return c
 		}
 	}
 	return nil
+}
+
+// PickSalvage returns a salvage compaction for a conflict-free quarantined
+// table, or nil when none is runnable. Salvage is a same-level rewrite
+// (OutputLevel == Level): the readable blocks are rewritten into fresh
+// tables whose span is a subset of the old table's span — so a sorted
+// level stays sorted — and the corrupt table is deleted, which is what
+// clears its quarantine mark. The executor lives in internal/core; the
+// Reason tag is how it recognizes the pick.
+func (p *Picker) PickSalvage(v *manifest.Version, env Env) *Compaction {
+	for level := 0; level < manifest.NumLevels; level++ {
+		for _, f := range v.Levels[level] {
+			if !v.IsQuarantined(f.Num) {
+				continue
+			}
+			c := &Compaction{
+				Level:       level,
+				OutputLevel: level,
+				Inputs:      []*manifest.FileMeta{f},
+				Reason:      ReasonSalvage,
+			}
+			if env.InFlight.Conflicts(c) {
+				continue
+			}
+			return c
+		}
+	}
+	return nil
+}
+
+// touchesQuarantined reports whether any table c consumes or promotes is
+// quarantined. Regular compactions must not read a quarantined table (the
+// merge would fail on the corrupt block) nor move it (salvage owns it).
+func touchesQuarantined(v *manifest.Version, c *Compaction) bool {
+	if v.NumQuarantined() == 0 {
+		return false
+	}
+	found := false
+	eachInputFile(c, func(num uint64) {
+		if v.IsQuarantined(num) {
+			found = true
+		}
+	})
+	return found
 }
 
 // levelsByScore returns the levels at or over compaction threshold,
@@ -277,7 +330,7 @@ func (p *Picker) pickSeek(v *manifest.Version, env Env) *Compaction {
 	}
 	smallest, largest := c.Range()
 	c.NextInputs = v.Overlaps(level+1, smallest, largest)
-	if env.InFlight.Conflicts(c) {
+	if touchesQuarantined(v, c) || env.InFlight.Conflicts(c) {
 		return nil
 	}
 	return c

@@ -1,0 +1,122 @@
+package compaction
+
+import (
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// quarantinedVersion builds a real version (through a VersionSet, since
+// quarantine membership is builder state) with the given tables per level
+// and the listed table numbers quarantined.
+func quarantinedVersion(t *testing.T, levels map[int][]*manifest.FileMeta, quarantine ...uint64) *manifest.Version {
+	t.Helper()
+	vs, err := manifest.Create(vfs.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+	edit := &manifest.VersionEdit{}
+	for level, files := range levels {
+		for _, f := range files {
+			edit.AddFile(level, f)
+		}
+	}
+	for _, num := range quarantine {
+		edit.QuarantineFile(num)
+	}
+	if err := vs.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	v := vs.Current()
+	v.Ref()
+	return v
+}
+
+func TestPickSalvageTargetsQuarantinedTable(t *testing.T) {
+	p := &Picker{Opts: defaultOpts()}
+	v := quarantinedVersion(t, map[int][]*manifest.FileMeta{
+		2: {meta(10, 1<<20, "a", "f"), meta(11, 1<<20, "g", "m")},
+	}, 11)
+
+	c := p.Pick(v, Env{})
+	if c == nil || c.Reason != ReasonSalvage {
+		t.Fatalf("pick = %+v, want salvage", c)
+	}
+	if c.Level != 2 || c.OutputLevel != 2 {
+		t.Fatalf("salvage is a same-level rewrite, got L%d -> L%d", c.Level, c.OutputLevel)
+	}
+	if len(c.Inputs) != 1 || c.Inputs[0].Num != 11 || len(c.NextInputs) != 0 {
+		t.Fatalf("salvage inputs: %+v / %+v", c.Inputs, c.NextInputs)
+	}
+}
+
+func TestPickSalvageOutranksSizeTriggers(t *testing.T) {
+	p := &Picker{Opts: defaultOpts()}
+	// L1 is far over budget, but the quarantined L3 table still wins: a
+	// table failing reads outranks a level merely over size.
+	levels := map[int][]*manifest.FileMeta{
+		3: {meta(30, 1<<20, "a", "b")},
+	}
+	for i := 0; i < 12; i++ {
+		levels[1] = append(levels[1], meta(uint64(i+1), 2<<20, ik2(i*2), ik2(i*2+1)))
+	}
+	v := quarantinedVersion(t, levels, 30)
+
+	c := p.Pick(v, Env{})
+	if c == nil || c.Reason != ReasonSalvage || c.Inputs[0].Num != 30 {
+		t.Fatalf("pick = %+v, want salvage of table 30", c)
+	}
+}
+
+func TestPickSalvageSkipsReservedTable(t *testing.T) {
+	p := &Picker{Opts: defaultOpts()}
+	v := quarantinedVersion(t, map[int][]*manifest.FileMeta{
+		2: {meta(10, 1<<20, "a", "f"), meta(11, 1<<20, "g", "m")},
+	}, 10, 11)
+
+	inf := NewInFlight()
+	reserved := v.Levels[2][0]
+	res := inf.Reserve(&Compaction{
+		Level: 2, OutputLevel: 2, Reason: ReasonSalvage,
+		Inputs: []*manifest.FileMeta{reserved},
+	})
+	defer inf.Release(res)
+
+	c := p.Pick(v, Env{InFlight: inf})
+	if c == nil || c.Reason != ReasonSalvage {
+		t.Fatalf("pick = %+v, want salvage of the unreserved table", c)
+	}
+	if c.Inputs[0].Num == reserved.Num {
+		t.Fatalf("picked the already-reserved table %d", c.Inputs[0].Num)
+	}
+}
+
+func TestPickAvoidsQuarantinedInputs(t *testing.T) {
+	p := &Picker{Opts: defaultOpts()}
+	// L1 over budget; its only victim's L2 overlap is quarantined but
+	// reserved by an in-flight salvage, so neither salvage (conflict) nor
+	// the size pick (corrupt input) may run: compacting into a corrupt
+	// table would feed garbage through the merge.
+	v := quarantinedVersion(t, map[int][]*manifest.FileMeta{
+		1: {meta(1, 20<<20, "a", "m")},
+		2: {meta(20, 1<<20, "b", "k")},
+	}, 20)
+
+	inf := NewInFlight()
+	res := inf.Reserve(&Compaction{
+		Level: 2, OutputLevel: 2, Reason: ReasonSalvage,
+		Inputs: []*manifest.FileMeta{v.Levels[2][0]},
+	})
+
+	if c := p.Pick(v, Env{InFlight: inf}); c != nil {
+		t.Fatalf("picked %+v across a quarantined table", c)
+	}
+	inf.Release(res)
+	if c := p.Pick(v, Env{InFlight: inf}); c == nil || c.Reason != ReasonSalvage {
+		t.Fatalf("pick after release = %+v, want salvage", c)
+	}
+}
+
+func ik2(i int) string { return string(rune('a'+i/26)) + string(rune('a'+i%26)) }

@@ -259,6 +259,12 @@ func (db *DB) compactWorker(w int, c *compaction.Compaction, r *compaction.Reser
 		db.inflight.Release(r)
 		c, r = nil, nil
 		if err != nil {
+			// A table-corruption finding is contained by quarantining the
+			// table (the next pick runs its salvage) rather than burning
+			// the retry budget toward a whole-DB read-only degradation.
+			if db.quarantineCorruptLocked(err) {
+				continue
+			}
 			if db.retryOrDegradeLocked(&db.compactFails, err) {
 				continue
 			}
@@ -396,9 +402,11 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	}
 
 	var (
-		metas []*manifest.FileMeta
-		err   error
+		metas   []*manifest.FileMeta
+		skipped int
+		err     error
 	)
+	salvage := c.Reason == compaction.ReasonSalvage
 	db.mu.Unlock()
 	db.ev.Emit(events.Event{
 		Type:        events.TypeCompactionStart,
@@ -410,7 +418,10 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 		Job:         job,
 		Worker:      worker,
 	})
-	if len(c.Inputs)+len(c.NextInputs) > 0 {
+	switch {
+	case salvage:
+		metas, skipped, err = db.writeSalvageTables(c)
+	case len(c.Inputs)+len(c.NextInputs) > 0:
 		metas, err = db.writeCompactionTables(c, smallestSnap, dropTombstones)
 	}
 	db.mu.Lock()
@@ -434,7 +445,7 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	for _, m := range metas {
 		edit.AddFile(c.OutputLevel, m)
 	}
-	if !db.cfg.Fragmented && !db.cfg.SettledCompaction && c.Level > 0 && len(c.Inputs) > 0 {
+	if !db.cfg.Fragmented && !db.cfg.SettledCompaction && !salvage && c.Level > 0 && len(c.Inputs) > 0 {
 		last := c.Inputs[len(c.Inputs)-1]
 		edit.CompactPointers = append(edit.CompactPointers, manifest.CompactPointer{
 			Level: c.Level,
@@ -460,6 +471,10 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	db.met.LevelBytesRead[c.Level].Add(levelBytes)
 	db.met.LevelBytesRead[c.OutputLevel].Add(nextBytes)
 	db.met.LevelBytesWritten[c.OutputLevel].Add(outBytes)
+	if salvage {
+		db.met.Salvages.Add(1)
+		db.met.SalvageSkipped.Add(int64(skipped))
+	}
 
 	db.zombies = append(db.zombies, c.Inputs...)
 	db.zombies = append(db.zombies, c.NextInputs...)
@@ -486,6 +501,15 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 			Level:       c.Level,
 			OutputLevel: c.OutputLevel,
 			Outputs:     len(c.Settled),
+		})
+	}
+	if salvage {
+		db.ev.Emit(events.Event{
+			Type:     events.TypeQuarantineClear,
+			Level:    c.Level,
+			Outputs:  len(metas),
+			BytesOut: outBytes,
+			Inputs:   skipped,
 		})
 	}
 	for _, e := range fallbacks {
@@ -559,6 +583,37 @@ func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.
 		return nil, err
 	}
 	return out.finish()
+}
+
+// writeSalvageTables rewrites the still-checksummed blocks of a quarantined
+// table into fresh tables at the same level, dropping unreadable blocks.
+// The output span is a subset of the input span, so a sorted level stays
+// sorted. skipped counts the blocks lost to corruption; a table too
+// corrupt to open at all is dropped whole (skipped = 1, no outputs).
+// Called without mu.
+func (db *DB) writeSalvageTables(c *compaction.Compaction) (metas []*manifest.FileMeta, skipped int, err error) {
+	f := c.Inputs[0]
+	r, release, err := db.tableCache.Get(f)
+	if err != nil {
+		if errors.Is(err, sstable.ErrCorrupt) {
+			return nil, 1, nil
+		}
+		return nil, 0, err
+	}
+	defer release()
+	out := db.newTableOutput(c.OutputLevel, nil)
+	skipped, err = r.Salvage(func(ikey keys.InternalKey, value []byte) error {
+		return out.add(ikey, value)
+	})
+	if err != nil {
+		out.abort()
+		return nil, 0, err
+	}
+	metas, err = out.finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	return metas, skipped, nil
 }
 
 // releasingIter couples a table iterator with its table-cache release.
@@ -731,6 +786,8 @@ func compactionReasonBucket(reason string) metrics.CompactionReason {
 		return metrics.CompactionFragmented
 	case compaction.ReasonManual:
 		return metrics.CompactionManual
+	case compaction.ReasonSalvage:
+		return metrics.CompactionSalvage
 	default:
 		return metrics.CompactionSize
 	}

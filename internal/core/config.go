@@ -116,6 +116,14 @@ type Config struct {
 	BgRetryBaseDelay time.Duration
 	// BgRetryMaxDelay caps the exponential backoff (default 250ms).
 	BgRetryMaxDelay time.Duration
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval, a pass walks all live tables and verifies every block
+	// checksum, quarantining corrupt tables for salvage. Zero disables the
+	// scrubber (the default — scrubs cost read bandwidth).
+	ScrubInterval time.Duration
+	// ScrubBytesPerSec throttles scrub read bandwidth. Zero selects the
+	// default (32 MB/s); negative disables throttling.
+	ScrubBytesPerSec int64
 
 	// --- Observability ---
 
@@ -196,6 +204,12 @@ func (c *Config) ApplyDefaults() {
 	if c.BgRetryMaxDelay <= 0 {
 		c.BgRetryMaxDelay = 250 * time.Millisecond
 	}
+	switch {
+	case c.ScrubBytesPerSec == 0:
+		c.ScrubBytesPerSec = 32 << 20
+	case c.ScrubBytesPerSec < 0:
+		c.ScrubBytesPerSec = 0
+	}
 	if c.EventLogSize <= 0 {
 		c.EventLogSize = 512
 	}
@@ -219,6 +233,9 @@ func (c *Config) Validate() error {
 	if c.BgRetryMaxDelay < c.BgRetryBaseDelay {
 		return fmt.Errorf("core: retry delay cap %v below base %v",
 			c.BgRetryMaxDelay, c.BgRetryBaseDelay)
+	}
+	if c.ScrubInterval < 0 {
+		return errors.New("core: negative scrub interval")
 	}
 	return nil
 }

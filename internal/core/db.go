@@ -45,6 +45,11 @@ type DB struct {
 	tableCache *cache.TableCache  //boltvet:guardedby none -- immutable after Open; cache locks itself
 	picker     *compaction.Picker //boltvet:guardedby none -- immutable after Open; stateless picker
 
+	// scrubStop ends the background scrubber: closed once by Close (under
+	// mu, which serializes against double close), selected on by the scrub
+	// goroutine without mu. Nil when the scrubber is disabled.
+	scrubStop chan struct{} //boltvet:guardedby none -- immutable after Open; channel close is its own synchronization
+
 	// mu guards all mutable state below except where noted.
 	mu   sync.Mutex
 	cond *sync.Cond // background state changes (flush/compaction done)
@@ -109,6 +114,12 @@ type DB struct {
 	seekCompactFile  *manifest.FileMeta //boltvet:guardedby mu
 	seekCompactLevel int                //boltvet:guardedby mu
 
+	// scrubActive is true while the scrub goroutine is alive; Close drains
+	// it. quarantinePending dedups concurrent quarantine commits for the
+	// same table while mu is released for the MANIFEST write.
+	scrubActive       bool            //boltvet:guardedby mu
+	quarantinePending map[uint64]bool //boltvet:guardedby mu
+
 	obsoleteLogs []uint64             //boltvet:guardedby mu
 	zombies      []*manifest.FileMeta //boltvet:guardedby mu
 	physRefs     map[uint64]int       //boltvet:guardedby mu
@@ -121,15 +132,16 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		cfg:        cfg,
-		io:         &IOCounters{},
-		met:        &metrics.Metrics{},
-		ev:         events.NewLog(cfg.EventLogSize, cfg.EventListener),
-		mem:        memtable.New(),
-		snapshots:  list.New(),
-		physRefs:   make(map[uint64]int),
-		deadRanges: make(map[uint64][]deadRange),
-		inflight:   compaction.NewInFlight(),
+		cfg:               cfg,
+		io:                &IOCounters{},
+		met:               &metrics.Metrics{},
+		ev:                events.NewLog(cfg.EventLogSize, cfg.EventListener),
+		mem:               memtable.New(),
+		snapshots:         list.New(),
+		physRefs:          make(map[uint64]int),
+		deadRanges:        make(map[uint64][]deadRange),
+		inflight:          compaction.NewInFlight(),
+		quarantinePending: make(map[uint64]bool),
 	}
 	db.workerSlots = make([]bool, cfg.MaxBackgroundCompactions)
 	db.cond = sync.NewCond(&db.mu)
@@ -161,6 +173,11 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 	}
 
 	db.mu.Lock()
+	if cfg.ScrubInterval > 0 {
+		db.scrubStop = make(chan struct{})
+		db.scrubActive = true
+		go db.scrubLoop()
+	}
 	db.maybeScheduleWorkLocked()
 	db.mu.Unlock()
 	return db, nil
@@ -441,6 +458,11 @@ func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byt
 		consulted           int
 	)
 	consult := func(level int, f *manifest.FileMeta) ([]byte, keys.Seq, keys.Kind, bool, error) {
+		// A quarantined table's span must fail loudly rather than serve a
+		// silently wrong (older or missing) version of the key.
+		if v.IsQuarantined(f.Num) {
+			return nil, 0, 0, false, rangeCorruptError(level, f, nil)
+		}
 		consulted++
 		if firstConsulted == nil {
 			firstConsulted, firstConsultedLevel = f, level
@@ -448,7 +470,7 @@ func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byt
 		db.met.TablesChecked.Add(1)
 		r, release, err := db.tableCache.Get(f)
 		if err != nil {
-			return nil, 0, 0, false, err
+			return nil, 0, 0, false, db.maybeQuarantineRead(level, f, err)
 		}
 		defer release()
 		if !r.MayContain(key) {
@@ -456,6 +478,9 @@ func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byt
 			return nil, 0, 0, false, nil
 		}
 		value, entrySeq, kind, found, err := r.Get(ikey)
+		if err != nil {
+			err = db.maybeQuarantineRead(level, f, err)
+		}
 		return value, entrySeq, kind, found, err
 	}
 	finish := func(value []byte, kind keys.Kind) ([]byte, bool, error) {
@@ -556,6 +581,9 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.closed = true
+	if db.scrubStop != nil {
+		close(db.scrubStop)
+	}
 	db.cond.Broadcast()
 	// Waiting on manualActive too (not just background workers) keeps the
 	// version set and caches alive until a concurrent CompactRange has
@@ -564,9 +592,10 @@ func (db *DB) Close() error {
 	// finished its off-mu append: new writers are rejected at entry once
 	// closed is set, and each queued writer becomes leader in turn, sees
 	// closed in makeRoomForWriteLocked, and returns ErrClosed — so the queue
-	// drains itself through the normal leader chain.
+	// drains itself through the normal leader chain. scrubActive keeps the
+	// version set alive until the scrubber (which pins versions) exits.
 	for db.flushActive || db.compactWorkers > 0 || db.manualActive ||
-		db.leaderActive || len(db.writers) > 0 {
+		db.leaderActive || len(db.writers) > 0 || db.scrubActive {
 		db.cond.Wait()
 	}
 	db.mu.Unlock()

@@ -10,9 +10,14 @@ import (
 )
 
 // levelIter iterates a sorted (non-overlapping) level, opening one table
-// at a time through the table cache.
+// at a time through the table cache. v is the pinned version the files
+// came from (the enclosing DBIter holds the reference); it is consulted
+// for quarantine marks so iterating into a corrupt table's span fails
+// with the typed range error instead of serving garbage.
 type levelIter struct {
 	db    *DB
+	v     *manifest.Version
+	level int
 	files []*manifest.FileMeta
 	idx   int
 	cur   iterator.Iterator
@@ -21,8 +26,8 @@ type levelIter struct {
 
 var _ iterator.Iterator = (*levelIter)(nil)
 
-func (db *DB) newLevelIter(files []*manifest.FileMeta) *levelIter {
-	return &levelIter{db: db, files: files, idx: -1}
+func (db *DB) newLevelIter(v *manifest.Version, level int, files []*manifest.FileMeta) *levelIter {
+	return &levelIter{db: db, v: v, level: level, files: files, idx: -1}
 }
 
 func (l *levelIter) open(i int) bool {
@@ -31,9 +36,14 @@ func (l *levelIter) open(i int) bool {
 		l.idx = len(l.files)
 		return false
 	}
-	r, release, err := l.db.tableCache.Get(l.files[i])
+	f := l.files[i]
+	if l.v.IsQuarantined(f.Num) {
+		l.err = rangeCorruptError(l.level, f, nil)
+		return false
+	}
+	r, release, err := l.db.tableCache.Get(f)
 	if err != nil {
-		l.err = err
+		l.err = l.db.maybeQuarantineRead(l.level, f, err)
 		return false
 	}
 	l.idx = i
@@ -177,15 +187,18 @@ func (db *DB) NewIter(snap *Snapshot) *DBIter {
 	}
 	// Level 0 and fragmented levels: one iterator per (possibly
 	// overlapping) table. Sorted levels: one lazy concatenating iterator.
-	openTable := func(f *manifest.FileMeta) iterator.Iterator {
+	openTable := func(level int, f *manifest.FileMeta) iterator.Iterator {
+		if v.IsQuarantined(f.Num) {
+			return &iterator.Empty{ErrValue: rangeCorruptError(level, f, nil)}
+		}
 		r, release, err := db.tableCache.Get(f)
 		if err != nil {
-			return &iterator.Empty{ErrValue: err}
+			return &iterator.Empty{ErrValue: db.maybeQuarantineRead(level, f, err)}
 		}
 		return &releasingIter{Iterator: r.NewIter(sstable.IterOpts{}), release: release}
 	}
 	for _, f := range v.Levels[0] {
-		sources = append(sources, openTable(f))
+		sources = append(sources, openTable(0, f))
 	}
 	for level := 1; level < manifest.NumLevels; level++ {
 		files := v.Levels[level]
@@ -194,10 +207,10 @@ func (db *DB) NewIter(snap *Snapshot) *DBIter {
 		}
 		if db.cfg.Fragmented {
 			for _, f := range files {
-				sources = append(sources, openTable(f))
+				sources = append(sources, openTable(level, f))
 			}
 		} else {
-			sources = append(sources, db.newLevelIter(files))
+			sources = append(sources, db.newLevelIter(v, level, files))
 		}
 	}
 	return &DBIter{db: db, seq: seq, v: v, merged: iterator.NewMerging(sources...)}

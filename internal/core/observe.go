@@ -21,6 +21,14 @@ func (db *DB) InFlightCompactions() int {
 	return db.inflight.Len()
 }
 
+// QuarantinedTables returns the number of tables currently under
+// corruption quarantine in the live version.
+func (db *DB) QuarantinedTables() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.vs.Current().NumQuarantined()
+}
+
 // LevelStats reports the live shape of the tree: per level, the layout
 // read from the current version (files, tables, bytes, dead bytes, read
 // amplification) joined with the cumulative per-level compaction counters.
@@ -141,6 +149,7 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 
 	p.Gauge("bolt_dead_range_bytes", "Dead-but-unreclaimed bytes across all files.", float64(db.DeadRangeBytes()))
 	p.Gauge("bolt_inflight_compactions", "Compactions currently executing.", float64(db.InFlightCompactions()))
+	p.Gauge("bolt_quarantined_tables", "Tables currently under corruption quarantine.", float64(db.QuarantinedTables()))
 	p.Counter("bolt_events_emitted_total", "Engine events emitted since open.", int64(db.ev.TotalEmitted()))
 	return p.Err()
 }

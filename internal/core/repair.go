@@ -200,11 +200,17 @@ func tableBaseFromFooter(f vfs.File, end int64) (int64, bool) {
 	return end - tableSize, true
 }
 
-// validateTable opens and fully iterates the table at (base, size),
-// returning its reconstructed metadata.
+// validateTable opens and fully verifies the table at (base, size),
+// returning its reconstructed metadata. Verification is VerifyTable's —
+// every block checksum (bloom included), restart structure, key ordering,
+// and the footer entry count — not just the open-time header checks, so a
+// table with a rotted data block is abandoned rather than re-committed.
 func validateTable(f vfs.File, physNum uint64, base, size int64) (salvagedTable, error) {
-	r, err := sstable.OpenReader(f, 0, base, size, nil)
+	r, err := sstable.OpenReader(f, 0, physNum, base, size, nil)
 	if err != nil {
+		return salvagedTable{}, err
+	}
+	if err := r.VerifyTable(); err != nil {
 		return salvagedTable{}, err
 	}
 	it := r.NewIter(sstable.IterOpts{Readahead: compactionReadahead})
@@ -228,9 +234,8 @@ func validateTable(f vfs.File, physNum uint64, base, size int64) (salvagedTable,
 	if err := it.Err(); err != nil {
 		return salvagedTable{}, err
 	}
-	if entries == 0 || entries != int64(r.NumEntries()) {
-		return salvagedTable{}, fmt.Errorf("core: repair: entry count mismatch (%d vs %d)",
-			entries, r.NumEntries())
+	if entries == 0 {
+		return salvagedTable{}, fmt.Errorf("core: repair: empty table region")
 	}
 	meta := &manifest.FileMeta{
 		PhysNum:  physNum,

@@ -68,6 +68,22 @@ const (
 	// TypeBgDegraded marks the engine entering read-only mode; Err is the
 	// unrecoverable cause.
 	TypeBgDegraded
+	// TypeScrubStart marks the start of one background integrity pass;
+	// Inputs is the table count the pass will walk, BytesIn their bytes.
+	TypeScrubStart
+	// TypeScrubEnd marks a completed pass: Inputs tables actually verified,
+	// BytesIn bytes read, Outputs corruption findings, Dur wall time.
+	TypeScrubEnd
+	// TypeScrubFinding marks one corrupt table discovered by the scrubber;
+	// File is the physical file, Level the table's level, Err the finding.
+	TypeScrubFinding
+	// TypeQuarantine marks a table entering quarantine; File is the
+	// physical file, Level the table's level, Err the corruption cause.
+	TypeQuarantine
+	// TypeQuarantineClear marks a quarantined table salvaged and dropped:
+	// Outputs is the rewritten-table count, BytesOut the salvaged bytes,
+	// Inputs the skipped (unrecoverable) block count.
+	TypeQuarantineClear
 )
 
 // String names the type.
@@ -97,6 +113,16 @@ func (t Type) String() string {
 		return "bg-retry"
 	case TypeBgDegraded:
 		return "bg-degraded"
+	case TypeScrubStart:
+		return "scrub-start"
+	case TypeScrubEnd:
+		return "scrub-end"
+	case TypeScrubFinding:
+		return "scrub-finding"
+	case TypeQuarantine:
+		return "quarantine"
+	case TypeQuarantineClear:
+		return "quarantine-clear"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -175,6 +201,18 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " backoff=%v err=%s", e.Dur.Round(time.Millisecond), e.Err)
 	case TypeBgDegraded:
 		fmt.Fprintf(&b, " err=%s", e.Err)
+	case TypeScrubStart:
+		fmt.Fprintf(&b, " tables=%d %dB", e.Inputs, e.BytesIn)
+	case TypeScrubEnd:
+		fmt.Fprintf(&b, " tables=%d %dB findings=%d dur=%v",
+			e.Inputs, e.BytesIn, e.Outputs, e.Dur.Round(time.Microsecond))
+	case TypeScrubFinding:
+		fmt.Fprintf(&b, " L%d phys=%d err=%s", e.Level, e.File, e.Err)
+	case TypeQuarantine:
+		fmt.Fprintf(&b, " L%d phys=%d err=%s", e.Level, e.File, e.Err)
+	case TypeQuarantineClear:
+		fmt.Fprintf(&b, " L%d out=%d tables %dB skipped-blocks=%d",
+			e.Level, e.Outputs, e.BytesOut, e.Inputs)
 	}
 	if e.Job != 0 {
 		switch e.Type {

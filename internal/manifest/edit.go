@@ -21,6 +21,7 @@ const (
 	tagCompactPointer = 4
 	tagDeletedFile    = 5
 	tagAddedFile      = 9
+	tagQuarantined    = 10
 )
 
 // DeletedFile names one table removed by an edit.
@@ -57,6 +58,11 @@ type VersionEdit struct {
 	Deleted []DeletedFile
 	// Added lists tables this edit validates.
 	Added []AddedFile
+	// Quarantined lists table numbers this edit marks corrupt: reads
+	// overlapping them fail with a range error instead of serving silent
+	// garbage, until a salvage compaction deletes them (deletion is the
+	// unquarantine — there is no separate clearing record).
+	Quarantined []uint64
 }
 
 // SetLogNum records the active WAL number.
@@ -76,6 +82,11 @@ func (e *VersionEdit) AddFile(level int, meta *FileMeta) {
 // DeleteFile appends a deleted-table record.
 func (e *VersionEdit) DeleteFile(level int, num uint64) {
 	e.Deleted = append(e.Deleted, DeletedFile{Level: level, Num: num})
+}
+
+// QuarantineFile appends a quarantined-table record.
+func (e *VersionEdit) QuarantineFile(num uint64) {
+	e.Quarantined = append(e.Quarantined, num)
 }
 
 // Encode serializes the edit.
@@ -118,6 +129,10 @@ func (e *VersionEdit) Encode() []byte {
 		putBytes(m.Smallest)
 		putBytes(m.Largest)
 		putBytes(m.Guard)
+	}
+	for _, num := range e.Quarantined {
+		buf = binary.AppendUvarint(buf, tagQuarantined)
+		buf = binary.AppendUvarint(buf, num)
 	}
 	return buf
 }
@@ -238,6 +253,12 @@ func DecodeEdit(data []byte) (*VersionEdit, error) {
 				m.Guard = guard
 			}
 			e.Added = append(e.Added, AddedFile{Level: int(lvl), Meta: m})
+		case tagQuarantined:
+			num, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.Quarantined = append(e.Quarantined, num)
 		default:
 			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
 		}

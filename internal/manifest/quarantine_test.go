@@ -1,0 +1,121 @@
+package manifest
+
+import (
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+func TestEditQuarantineEncodeDecode(t *testing.T) {
+	e := &VersionEdit{}
+	e.AddFile(2, meta(7, 7, 0, 1000, "a", "m"))
+	e.QuarantineFile(7)
+	e.QuarantineFile(42)
+	d, err := DecodeEdit(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Quarantined) != 2 || d.Quarantined[0] != 7 || d.Quarantined[1] != 42 {
+		t.Fatalf("Quarantined = %v", d.Quarantined)
+	}
+}
+
+func TestQuarantineAppliesAndDeletionClears(t *testing.T) {
+	fs := vfs.NewMem()
+	vs, err := Create(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs.Close()
+
+	edit := &VersionEdit{}
+	edit.AddFile(2, meta(10, 10, 0, 1000, "a", "m"))
+	edit.AddFile(2, meta(11, 11, 0, 1000, "n", "z"))
+	if err := vs.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	q := &VersionEdit{}
+	q.QuarantineFile(10)
+	if err := vs.LogAndApply(q); err != nil {
+		t.Fatal(err)
+	}
+	v := vs.Current()
+	if !v.IsQuarantined(10) || v.IsQuarantined(11) || v.NumQuarantined() != 1 {
+		t.Fatalf("quarantine state: %v", v.Quarantined())
+	}
+	// The quarantined table stays in its level: its key span must keep
+	// resolving to it so reads fail typed instead of missing.
+	if len(v.Levels[2]) != 2 {
+		t.Fatalf("L2 = %d tables, want 2", len(v.Levels[2]))
+	}
+
+	// Deletion is the unquarantine: the salvage commit that replaces the
+	// table clears the mark with no separate record.
+	s := &VersionEdit{}
+	s.DeleteFile(2, 10)
+	s.AddFile(2, meta(12, 12, 0, 900, "a", "m"))
+	if err := vs.LogAndApply(s); err != nil {
+		t.Fatal(err)
+	}
+	v = vs.Current()
+	if v.NumQuarantined() != 0 {
+		t.Fatalf("salvage left quarantine marks: %v", v.Quarantined())
+	}
+}
+
+func TestQuarantineSurvivesRecovery(t *testing.T) {
+	fs := vfs.NewMem()
+	vs, err := Create(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edit := &VersionEdit{}
+	edit.AddFile(1, meta(10, 10, 0, 1000, "a", "m"))
+	edit.QuarantineFile(10)
+	if err := vs.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	vs.Close()
+
+	vs2, err := Recover(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs2.Close()
+	if !vs2.Current().IsQuarantined(10) {
+		t.Fatal("quarantine mark lost across recovery")
+	}
+}
+
+func TestQuarantineSurvivesManifestRotation(t *testing.T) {
+	fs := vfs.NewMem()
+	vs, err := Create(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edit := &VersionEdit{}
+	edit.AddFile(1, meta(10, 10, 0, 1000, "a", "m"))
+	edit.QuarantineFile(10)
+	if err := vs.LogAndApply(edit); err != nil {
+		t.Fatal(err)
+	}
+	// Force a rotation: the snapshot edit written into the fresh MANIFEST
+	// must re-emit the quarantine mark, or a reopen would serve the corrupt
+	// table's garbage again.
+	vs.ForceRotate()
+	bump := &VersionEdit{}
+	bump.AddFile(1, meta(11, 11, 0, 1000, "n", "z"))
+	if err := vs.LogAndApply(bump); err != nil {
+		t.Fatal(err)
+	}
+	vs.Close()
+
+	vs2, err := Recover(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vs2.Close()
+	if !vs2.Current().IsQuarantined(10) {
+		t.Fatal("quarantine mark lost across MANIFEST rotation")
+	}
+}

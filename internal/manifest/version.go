@@ -77,8 +77,35 @@ type Version struct {
 	// every governed write, so it must not cost an allocation there.
 	l0PhysFiles int
 
+	// quarantined holds the table numbers marked corrupt in this version.
+	// A quarantined table stays in its level (its key span must keep
+	// failing loudly, and salvage needs its metadata) but reads must not
+	// open it and compactions must not consume it except to salvage it.
+	// Membership is cleared by deletion: the salvage compaction deletes
+	// the table, and the builder drops quarantine records for tables no
+	// longer present.
+	quarantined map[uint64]struct{}
+
 	refs atomic.Int32
 	vs   *VersionSet
+}
+
+// IsQuarantined reports whether table num is quarantined in this version.
+func (v *Version) IsQuarantined(num uint64) bool {
+	_, ok := v.quarantined[num]
+	return ok
+}
+
+// NumQuarantined returns the number of quarantined tables.
+func (v *Version) NumQuarantined() int { return len(v.quarantined) }
+
+// Quarantined returns the quarantined table numbers (unordered).
+func (v *Version) Quarantined() []uint64 {
+	out := make([]uint64, 0, len(v.quarantined))
+	for num := range v.quarantined {
+		out = append(out, num)
+	}
+	return out
 }
 
 // L0PhysFiles returns the number of distinct physical files at level 0
@@ -147,9 +174,10 @@ func (v *Version) SortedTables(level int) error {
 // level L and re-adding the *same* table number at level L+1 within one
 // edit, so deletion must not cancel the addition at the other level.
 type versionBuilder struct {
-	base    *Version
-	added   [NumLevels][]*FileMeta
-	deleted map[levelNum]bool
+	base        *Version
+	added       [NumLevels][]*FileMeta
+	deleted     map[levelNum]bool
+	quarantined map[uint64]struct{}
 }
 
 type levelNum struct {
@@ -158,7 +186,20 @@ type levelNum struct {
 }
 
 func newVersionBuilder(base *Version) *versionBuilder {
-	return &versionBuilder{base: base, deleted: make(map[levelNum]bool)}
+	b := &versionBuilder{base: base, deleted: make(map[levelNum]bool)}
+	b.quarantined = make(map[uint64]struct{}, len(base.quarantinedOrNil()))
+	for num := range base.quarantinedOrNil() {
+		b.quarantined[num] = struct{}{}
+	}
+	return b
+}
+
+// quarantinedOrNil tolerates a nil base (the recovery bootstrap).
+func (v *Version) quarantinedOrNil() map[uint64]struct{} {
+	if v == nil {
+		return nil
+	}
+	return v.quarantined
 }
 
 func (b *versionBuilder) apply(edit *VersionEdit) {
@@ -170,6 +211,9 @@ func (b *versionBuilder) apply(edit *VersionEdit) {
 		// (does not occur in practice, but keeps apply order-consistent).
 		delete(b.deleted, levelNum{a.Level, a.Meta.Num})
 		b.added[a.Level] = append(b.added[a.Level], a.Meta)
+	}
+	for _, num := range edit.Quarantined {
+		b.quarantined[num] = struct{}{}
 	}
 }
 
@@ -210,6 +254,21 @@ func (b *versionBuilder) finish(vs *VersionSet) *Version {
 		seen[f.PhysNum] = struct{}{}
 	}
 	v.l0PhysFiles = len(seen)
+	// Quarantine membership survives only while the table does: deleting a
+	// quarantined table (the salvage commit) is what clears its mark.
+	if len(b.quarantined) > 0 {
+		v.quarantined = make(map[uint64]struct{})
+		for _, lvl := range v.Levels {
+			for _, f := range lvl {
+				if _, ok := b.quarantined[f.Num]; ok {
+					v.quarantined[f.Num] = struct{}{}
+				}
+			}
+		}
+		if len(v.quarantined) == 0 {
+			v.quarantined = nil
+		}
+	}
 	return v
 }
 

@@ -310,6 +310,11 @@ func (vs *VersionSet) snapshotEdit(v *Version) *VersionEdit {
 			edit.AddFile(level, f)
 		}
 	}
+	// Quarantine marks must survive rotation: a snapshot that dropped them
+	// would let a rotted table serve silent garbage after the next open.
+	for _, num := range v.Quarantined() {
+		edit.QuarantineFile(num)
+	}
 	return edit
 }
 

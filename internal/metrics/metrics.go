@@ -24,13 +24,14 @@ const (
 	CompactionSettled
 	CompactionFragmented
 	CompactionManual
+	CompactionSalvage
 	NumCompactionReasons
 )
 
 // CompactionReasonNames are the Prometheus label values, indexed by
 // CompactionReason.
 var CompactionReasonNames = [NumCompactionReasons]string{
-	"size", "seek", "settled", "fragmented", "manual",
+	"size", "seek", "settled", "fragmented", "manual", "salvage",
 }
 
 // Metrics is the live counter set of one DB instance.
@@ -79,6 +80,15 @@ type Metrics struct {
 	ReadOnlyDegradations atomic.Int64 // entries into read-only mode
 	HolePunchFallbacks   atomic.Int64 // punches degraded to dead-range accounting
 
+	// Integrity: scrub, quarantine, salvage.
+	ScrubPasses      atomic.Int64 // completed background scrub passes
+	ScrubTables      atomic.Int64 // tables verified by the scrubber
+	ScrubBytes       atomic.Int64 // table bytes the scrubber read
+	ScrubCorruptions atomic.Int64 // corruption findings (scrub + lazy detection)
+	Quarantines      atomic.Int64 // tables placed under quarantine
+	Salvages         atomic.Int64 // salvage compactions that cleared a quarantine
+	SalvageSkipped   atomic.Int64 // unrecoverable blocks dropped by salvages
+
 	// Latency histograms.
 	WriteLatency histogram.Histogram
 	ReadLatency  histogram.Histogram
@@ -125,6 +135,14 @@ type Snapshot struct {
 	BgRecoveredFaults    int64
 	ReadOnlyDegradations int64
 	HolePunchFallbacks   int64
+
+	ScrubPasses      int64
+	ScrubTables      int64
+	ScrubBytes       int64
+	ScrubCorruptions int64
+	Quarantines      int64
+	Salvages         int64
+	SalvageSkipped   int64
 }
 
 // Snapshot copies the scalar counters (histograms are read directly).
@@ -172,5 +190,13 @@ func (m *Metrics) snapshotScalars() Snapshot {
 		BgRecoveredFaults:    m.BgRecoveredFaults.Load(),
 		ReadOnlyDegradations: m.ReadOnlyDegradations.Load(),
 		HolePunchFallbacks:   m.HolePunchFallbacks.Load(),
+
+		ScrubPasses:      m.ScrubPasses.Load(),
+		ScrubTables:      m.ScrubTables.Load(),
+		ScrubBytes:       m.ScrubBytes.Load(),
+		ScrubCorruptions: m.ScrubCorruptions.Load(),
+		Quarantines:      m.Quarantines.Load(),
+		Salvages:         m.Salvages.Load(),
+		SalvageSkipped:   m.SalvageSkipped.Load(),
 	}
 }

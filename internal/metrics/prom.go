@@ -150,6 +150,14 @@ func (m *Metrics) WriteProm(p *PromWriter) {
 	p.Counter("bolt_bg_recovered_faults_total", "Background ops that succeeded after failed attempts.", s.BgRecoveredFaults)
 	p.Counter("bolt_read_only_degradations_total", "Entries into read-only mode.", s.ReadOnlyDegradations)
 
+	p.Counter("bolt_scrub_passes_total", "Completed background integrity scrub passes.", s.ScrubPasses)
+	p.Counter("bolt_scrub_tables_verified_total", "Tables verified by the scrubber.", s.ScrubTables)
+	p.Counter("bolt_scrub_bytes_read_total", "Table bytes read by the scrubber.", s.ScrubBytes)
+	p.Counter("bolt_scrub_corruptions_total", "Table corruption findings (scrub and lazy detection).", s.ScrubCorruptions)
+	p.Counter("bolt_quarantines_total", "Tables placed under quarantine.", s.Quarantines)
+	p.Counter("bolt_salvages_total", "Salvage compactions that cleared a quarantine.", s.Salvages)
+	p.Counter("bolt_salvage_skipped_blocks_total", "Unrecoverable blocks dropped by salvage compactions.", s.SalvageSkipped)
+
 	p.Summary("bolt_write_latency_seconds", "Write operation latency.", &m.WriteLatency)
 	p.Summary("bolt_read_latency_seconds", "Point-read latency.", &m.ReadLatency)
 	p.Summary("bolt_scan_latency_seconds", "Scan latency.", &m.ScanLatency)

@@ -29,7 +29,7 @@ func FuzzOpenReader(f *testing.F) {
 		mfs := vfs.NewMem()
 		mf, _ := mfs.Create("t")
 		mf.Write(data)
-		r, err := OpenReader(mf, 1, 0, int64(len(data)), nil)
+		r, err := OpenReader(mf, 1, 1, 0, int64(len(data)), nil)
 		if err != nil {
 			return
 		}

@@ -22,6 +22,49 @@ type BlockCache interface {
 	Insert(tableID uint64, off int64, data []byte)
 }
 
+// CorruptionError is a corruption finding that names its victim: the
+// logical table, the physical file owning the bytes, and the absolute
+// offset of the damaged region within that physical file (-1 when the
+// damage cannot be localized). It unwraps to ErrCorrupt, so existing
+// errors.Is classification keeps working; quarantine and operators use the
+// identity fields to find the file without guessing.
+type CorruptionError struct {
+	// TableID is the logical table number (0 when unknown, e.g. repair).
+	TableID uint64
+	// PhysNum is the physical file number owning the corrupt bytes.
+	PhysNum uint64
+	// Offset is the absolute offset of the damaged region within the
+	// physical file, or -1 when it cannot be localized.
+	Offset int64
+	// Detail describes the finding.
+	Detail string
+	// Err optionally chains the underlying parse error (e.g. from package
+	// block).
+	Err error
+}
+
+// Error describes the finding with its victim identity.
+func (e *CorruptionError) Error() string {
+	detail := e.Detail
+	if e.Err != nil {
+		if detail != "" {
+			detail += ": "
+		}
+		detail += e.Err.Error()
+	}
+	return fmt.Sprintf("sstable: corrupt: %s (table %d, phys file %d, offset %d)",
+		detail, e.TableID, e.PhysNum, e.Offset)
+}
+
+// Unwrap ties the error into the ErrCorrupt class and preserves the
+// underlying cause for errors.Is/As.
+func (e *CorruptionError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorrupt, e.Err}
+	}
+	return []error{ErrCorrupt}
+}
+
 // Reader reads one (possibly logical) table. Opening a reader costs one
 // metadata read covering the filter block, index block, and footer — this
 // is exactly the TableCache miss penalty the paper analyses: it grows
@@ -29,6 +72,7 @@ type BlockCache interface {
 type Reader struct {
 	f       vfs.File
 	tableID uint64
+	physNum uint64
 	base    int64
 	size    int64
 
@@ -40,19 +84,37 @@ type Reader struct {
 	cache BlockCache // may be nil
 }
 
+// corruptf builds a CorruptionError at absolute physical-file offset off.
+func (r *Reader) corruptf(off int64, err error, format string, args ...any) error {
+	return &CorruptionError{
+		TableID: r.tableID,
+		PhysNum: r.physNum,
+		Offset:  off,
+		Detail:  fmt.Sprintf(format, args...),
+		Err:     err,
+	}
+}
+
 // OpenReader parses the table at (base, size) in f. tableID must be unique
 // per table (the engine uses the table's file number); it keys the block
-// cache.
-func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) (*Reader, error) {
+// cache. physNum names the physical file holding the bytes, so corruption
+// findings can identify the victim file.
+func OpenReader(f vfs.File, tableID, physNum uint64, base, size int64, cache BlockCache) (*Reader, error) {
+	corruptf := func(off int64, err error, format string, args ...any) error {
+		return &CorruptionError{
+			TableID: tableID, PhysNum: physNum, Offset: off,
+			Detail: fmt.Sprintf(format, args...), Err: err,
+		}
+	}
 	if size < FooterSize {
-		return nil, fmt.Errorf("%w: table too small (%d bytes)", ErrCorrupt, size)
+		return nil, corruptf(base, nil, "table too small (%d bytes)", size)
 	}
 	var footer [FooterSize]byte
 	if err := vfs.ReadFull(f, footer[:], base+size-FooterSize); err != nil {
 		return nil, fmt.Errorf("sstable: read footer: %w", err)
 	}
 	if got := binary.LittleEndian.Uint64(footer[40:]); got != Magic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+		return nil, corruptf(base+size-FooterSize, nil, "bad magic %#x", got)
 	}
 	indexH := blockHandle{
 		offset: int64(binary.LittleEndian.Uint64(footer[0:])),
@@ -73,7 +135,7 @@ func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) 
 	metaEnd := base + size - FooterSize
 	metaLen := metaEnd - (base + metaStart)
 	if metaLen < 0 || base+metaStart < base {
-		return nil, fmt.Errorf("%w: meta region out of range", ErrCorrupt)
+		return nil, corruptf(base+size-FooterSize, nil, "meta region out of range")
 	}
 	meta := make([]byte, metaLen)
 	if err := vfs.ReadFull(f, meta, base+metaStart); err != nil {
@@ -87,12 +149,12 @@ func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) 
 		// overflow when summed.
 		if h.offset < 0 || h.length < 0 || lo < 0 || hi < lo ||
 			hi+blockTrailerSize > int64(len(meta)) || hi+blockTrailerSize < hi {
-			return nil, fmt.Errorf("%w: meta handle out of range", ErrCorrupt)
+			return nil, corruptf(base+size-FooterSize, nil, "meta handle out of range")
 		}
 		data := meta[lo:hi]
 		want := binary.LittleEndian.Uint32(meta[hi : hi+blockTrailerSize])
 		if got := crc32.Checksum(data, castagnoli); got != want {
-			return nil, fmt.Errorf("%w: meta block checksum", ErrCorrupt)
+			return nil, corruptf(base+h.offset, nil, "meta block checksum")
 		}
 		return data, nil
 	}
@@ -103,7 +165,7 @@ func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) 
 	}
 	index, err := block.NewReader(indexData)
 	if err != nil {
-		return nil, fmt.Errorf("sstable: parse index: %w", err)
+		return nil, corruptf(base+indexH.offset, err, "parse index")
 	}
 	var filter bloom.Filter
 	if filterH.length > 0 {
@@ -116,6 +178,7 @@ func OpenReader(f vfs.File, tableID uint64, base, size int64, cache BlockCache) 
 	return &Reader{
 		f:          f,
 		tableID:    tableID,
+		physNum:    physNum,
 		base:       base,
 		size:       size,
 		index:      index,
@@ -143,14 +206,37 @@ func (r *Reader) MayContain(userKey []byte) bool {
 
 // readBlock returns the data block at h, consulting the block cache.
 func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
-	if h.offset < 0 || h.length < 0 || h.offset+h.length+blockTrailerSize > r.size {
-		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
+	if err := r.checkHandle(h); err != nil {
+		return nil, err
 	}
 	if r.cache != nil {
 		if data, ok := r.cache.Get(r.tableID, h.offset); ok {
 			return data, nil
 		}
 	}
+	payload, err := r.readBlockDirect(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.cache != nil {
+		r.cache.Insert(r.tableID, h.offset, payload)
+	}
+	return payload, nil
+}
+
+// checkHandle bounds-checks a block handle against the table extent.
+func (r *Reader) checkHandle(h blockHandle) error {
+	if h.offset < 0 || h.length < 0 || h.offset+h.length+blockTrailerSize > r.size {
+		return r.corruptf(-1, nil, "block handle out of range (offset %d, length %d)", h.offset, h.length)
+	}
+	return nil
+}
+
+// readBlockDirect reads and checksum-validates the data block at h straight
+// from the file, bypassing the block cache in both directions. Scrub and
+// salvage use it: they must observe the at-rest bytes, not a cached copy
+// read before the rot.
+func (r *Reader) readBlockDirect(h blockHandle) ([]byte, error) {
 	data := make([]byte, h.length+blockTrailerSize)
 	if err := vfs.ReadFull(r.f, data, r.base+h.offset); err != nil {
 		return nil, fmt.Errorf("sstable: read block at %d: %w", h.offset, err)
@@ -158,10 +244,7 @@ func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
 	payload := data[:h.length]
 	want := binary.LittleEndian.Uint32(data[h.length:])
 	if got := crc32.Checksum(payload, castagnoli); got != want {
-		return nil, fmt.Errorf("%w: data block checksum at %d", ErrCorrupt, h.offset)
-	}
-	if r.cache != nil {
-		r.cache.Insert(r.tableID, h.offset, payload)
+		return nil, r.corruptf(r.base+h.offset, nil, "data block checksum")
 	}
 	return payload, nil
 }
@@ -181,7 +264,7 @@ func (r *Reader) Get(ikey keys.InternalKey) (value []byte, seq keys.Seq, kind ke
 	}
 	h, err := decodeHandle(idx.Value())
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, 0, 0, false, r.corruptf(-1, err, "index entry handle")
 	}
 	data, err := r.readBlock(h)
 	if err != nil {
@@ -189,7 +272,7 @@ func (r *Reader) Get(ikey keys.InternalKey) (value []byte, seq keys.Seq, kind ke
 	}
 	br, err := block.NewReader(data)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, 0, 0, false, r.corruptf(r.base+h.offset, err, "parse data block")
 	}
 	it := br.Iter()
 	if !it.Seek(ikey) {
@@ -234,7 +317,7 @@ var _ iterator.Iterator = (*tableIter)(nil)
 func (t *tableIter) loadBlock() bool {
 	h, err := decodeHandle(t.indexIter.Value())
 	if err != nil {
-		t.err = err
+		t.err = t.r.corruptf(-1, err, "index entry handle")
 		return false
 	}
 	var data []byte
@@ -249,7 +332,7 @@ func (t *tableIter) loadBlock() bool {
 	}
 	br, err := block.NewReader(data)
 	if err != nil {
-		t.err = err
+		t.err = t.r.corruptf(t.r.base+h.offset, err, "parse data block")
 		return false
 	}
 	t.blockIter = br.Iter()
@@ -258,8 +341,8 @@ func (t *tableIter) loadBlock() bool {
 
 // readWithReadahead serves block h from a sequential readahead buffer.
 func (t *tableIter) readWithReadahead(h blockHandle) ([]byte, error) {
-	if h.offset < 0 || h.length < 0 || h.offset+h.length+blockTrailerSize > t.r.size {
-		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
+	if err := t.r.checkHandle(h); err != nil {
+		return nil, err
 	}
 	need := h.length + blockTrailerSize
 	if h.offset < t.raOff || h.offset+need > t.raOff+int64(len(t.raBuf)) {
@@ -281,7 +364,7 @@ func (t *tableIter) readWithReadahead(h blockHandle) ([]byte, error) {
 	data := t.raBuf[lo : lo+h.length]
 	want := binary.LittleEndian.Uint32(t.raBuf[lo+h.length : lo+need])
 	if got := crc32.Checksum(data, castagnoli); got != want {
-		return nil, fmt.Errorf("%w: data block checksum at %d", ErrCorrupt, h.offset)
+		return nil, t.r.corruptf(t.r.base+h.offset, nil, "data block checksum")
 	}
 	return data, nil
 }

@@ -73,7 +73,7 @@ func buildTable(t testing.TB, fs vfs.FS, name string, base int64, pairs []pair, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := OpenReader(rf, 1, info.Base, info.Size, nil)
+	r, err := OpenReader(rf, 1, 1, info.Base, info.Size, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestLogicalTablesShareFile(t *testing.T) {
 	}
 	defer rf.Close()
 	for part, info := range infos {
-		r, err := OpenReader(rf, uint64(part+1), info.Base, info.Size, nil)
+		r, err := OpenReader(rf, uint64(part+1), 1, info.Base, info.Size, nil)
 		if err != nil {
 			t.Fatalf("open logical table %d: %v", part, err)
 		}
@@ -245,7 +245,7 @@ func TestHolePunchedNeighborDoesNotAffectTable(t *testing.T) {
 
 	rf, _ := fs.Open("cf")
 	defer rf.Close()
-	r, err := OpenReader(rf, 2, info2.Base, info2.Size, nil)
+	r, err := OpenReader(rf, 2, 1, info2.Base, info2.Size, nil)
 	if err != nil {
 		t.Fatalf("open survivor after hole punch: %v", err)
 	}
@@ -261,7 +261,7 @@ func TestHolePunchedNeighborDoesNotAffectTable(t *testing.T) {
 		t.Fatalf("survivor: %d entries err=%v", n, it.Err())
 	}
 	// The punched table must now fail its checksum (reads as zeros).
-	if _, err := OpenReader(rf, 1, 0, info1.Size, nil); err == nil {
+	if _, err := OpenReader(rf, 1, 1, 0, info1.Size, nil); err == nil {
 		t.Fatal("punched table should not open cleanly")
 	}
 }
@@ -369,7 +369,7 @@ func TestCorruptFooterRejected(t *testing.T) {
 	vfs.WriteFile(fs, "bad", data)
 	f, _ := fs.Open("bad")
 	defer f.Close()
-	if _, err := OpenReader(f, 1, 0, info.Size, nil); err == nil {
+	if _, err := OpenReader(f, 1, 1, 0, info.Size, nil); err == nil {
 		t.Fatal("corrupt magic accepted")
 	}
 }
@@ -383,7 +383,7 @@ func TestCorruptDataBlockDetected(t *testing.T) {
 	vfs.WriteFile(fs, "bad", data)
 	f, _ := fs.Open("bad")
 	defer f.Close()
-	r, err := OpenReader(f, 1, 0, info.Size, nil)
+	r, err := OpenReader(f, 1, 1, 0, info.Size, nil)
 	if err != nil {
 		t.Fatal(err) // meta region is intact
 	}
@@ -423,7 +423,7 @@ func TestBlockCacheUsed(t *testing.T) {
 	f, _ := fs.Open("t")
 	defer f.Close()
 	cc := &countingCache{m: map[string][]byte{}}
-	r, err := OpenReader(f, 1, 0, info.Size, cc)
+	r, err := OpenReader(f, 1, 1, 0, info.Size, cc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +481,7 @@ func TestRoundTripProperty(t *testing.T) {
 		file.Close()
 		rf, _ := fs.Open("t")
 		defer rf.Close()
-		r, err := OpenReader(rf, 1, 0, info.Size, nil)
+		r, err := OpenReader(rf, 1, 1, 0, info.Size, nil)
 		if err != nil {
 			return false
 		}

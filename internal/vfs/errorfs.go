@@ -133,6 +133,82 @@ func FilterName(pred func(name string) bool, inj Injector) Injector {
 	})
 }
 
+// Corruptor silently mutates the result buffer of a successful labeled read
+// — the bit-rot analogue of Injector. op and name identify the site, n is
+// the same 1-based occurrence count Injector.Inject sees, p is the bytes
+// the read returned (mutate in place to corrupt them), and off is the file
+// offset the read started at. Unlike an Injector, a Corruptor cannot fail
+// the operation: the caller observes a clean read of wrong bytes, which is
+// exactly what rotted media looks like above the driver.
+type Corruptor interface {
+	Corrupt(op Op, name string, n int64, p []byte, off int64)
+}
+
+// CorruptorFunc adapts a function to the Corruptor interface.
+type CorruptorFunc func(op Op, name string, n int64, p []byte, off int64)
+
+// Corrupt calls f.
+func (f CorruptorFunc) Corrupt(op Op, name string, n int64, p []byte, off int64) {
+	f(op, name, n, p, off)
+}
+
+// CorruptNth returns a deterministic corruptor: on exactly the nth
+// occurrence of op it flips every bit of the byte in the middle of the
+// result (or zeroes the whole result when zero is true). Later occurrences
+// pass through untouched.
+func CorruptNth(op Op, nth int64, zero bool) Corruptor {
+	return CorruptorFunc(func(o Op, name string, n int64, p []byte, off int64) {
+		if o != op || n != nth || len(p) == 0 {
+			return
+		}
+		if zero {
+			for i := range p {
+				p[i] = 0
+			}
+			return
+		}
+		p[len(p)/2] ^= 0xff
+	})
+}
+
+// CorruptProb returns a seeded probabilistic corruptor flipping one random
+// byte of each listed op's result with probability prob. An empty ops list
+// targets every op.
+func CorruptProb(seed int64, prob float64, ops ...Op) Corruptor {
+	var match [numOps]bool
+	for _, op := range ops {
+		match[op] = true
+	}
+	all := len(ops) == 0
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return CorruptorFunc(func(o Op, name string, n int64, p []byte, off int64) {
+		if (!all && (int(o) >= len(match) || !match[o])) || len(p) == 0 {
+			return
+		}
+		mu.Lock()
+		hit := rng.Float64() < prob
+		var i int
+		if hit {
+			i = rng.Intn(len(p))
+		}
+		mu.Unlock()
+		if hit {
+			p[i] ^= 0xff
+		}
+	})
+}
+
+// FilterCorruptName narrows c to reads whose file name satisfies pred.
+func FilterCorruptName(pred func(name string) bool, c Corruptor) Corruptor {
+	return CorruptorFunc(func(o Op, name string, n int64, p []byte, off int64) {
+		if !pred(name) {
+			return
+		}
+		c.Corrupt(o, name, n, p, off)
+	})
+}
+
 // ErrorFS wraps a filesystem with labeled fault-injection sites and, when
 // the wrapped filesystem is a *MemFS, torn-write crash-image simulation.
 // Each operation first consults the installed injector (if any); a non-nil
@@ -145,8 +221,9 @@ type ErrorFS struct {
 	counts [numOps]atomic.Int64
 
 	// mu guards the fields below.
-	mu  sync.Mutex
-	inj Injector
+	mu   sync.Mutex
+	inj  Injector
+	corr Corruptor
 	// pending holds, per file name, the bytes written through this ErrorFS
 	// since the file's last successful sync — the data a torn crash image
 	// may partially expose. Tracking is by name at handle-creation time;
@@ -170,6 +247,14 @@ func (fs *ErrorFS) SetInjector(inj Injector) {
 	fs.mu.Unlock()
 }
 
+// SetCorruptor installs c; nil disables bit-rot corruption. Safe to call
+// while the filesystem is in use.
+func (fs *ErrorFS) SetCorruptor(c Corruptor) {
+	fs.mu.Lock()
+	fs.corr = c
+	fs.mu.Unlock()
+}
+
 // OpCount returns how many occurrences of op have been observed (whether
 // or not they were failed).
 func (fs *ErrorFS) OpCount(op Op) int64 { return fs.counts[op].Load() }
@@ -177,14 +262,31 @@ func (fs *ErrorFS) OpCount(op Op) int64 { return fs.counts[op].Load() }
 // check counts the operation and consults the injector. The injector runs
 // outside fs.mu so its hook may call back into CrashImage/TornCrashImage.
 func (fs *ErrorFS) check(op Op, name string) error {
+	_, err := fs.checkN(op, name)
+	return err
+}
+
+// checkN is check returning the occurrence count too, for sites that also
+// consult the corruptor with the same count.
+func (fs *ErrorFS) checkN(op Op, name string) (int64, error) {
 	n := fs.counts[op].Add(1)
 	fs.mu.Lock()
 	inj := fs.inj
 	fs.mu.Unlock()
 	if inj == nil {
-		return nil
+		return n, nil
 	}
-	return inj.Inject(op, name, n)
+	return n, inj.Inject(op, name, n)
+}
+
+// corrupt hands a successful read result to the installed corruptor, if any.
+func (fs *ErrorFS) corrupt(op Op, name string, n int64, p []byte, off int64) {
+	fs.mu.Lock()
+	corr := fs.corr
+	fs.mu.Unlock()
+	if corr != nil {
+		corr.Corrupt(op, name, n, p, off)
+	}
 }
 
 // Create creates (or truncates) name, subject to OpCreate injection.
@@ -267,6 +369,14 @@ func (fs *ErrorFS) CrashImage() *MemFS {
 	return fs.inner.(*MemFS).CrashClone()
 }
 
+// CorruptFileRange flips every bit in [off, off+length) of name's at-rest
+// contents in the wrapped MemFS (it panics when the inner filesystem is not
+// a *MemFS) — the handle crash harnesses use to rot bytes in an image
+// between reopen cycles.
+func (fs *ErrorFS) CorruptFileRange(name string, off, length int64) error {
+	return fs.inner.(*MemFS).CorruptFileRange(name, off, length)
+}
+
 // TornCrashImage is CrashImage plus torn-write simulation: for every
 // surviving file, a random prefix of its unsynced tail (bytes written
 // through this ErrorFS but never durably synced) reaches the image, and
@@ -336,10 +446,18 @@ func (f *errorFile) Write(p []byte) (int, error) {
 }
 
 func (f *errorFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.fs.check(OpReadAt, f.name); err != nil {
+	cnt, err := f.fs.checkN(OpReadAt, f.name)
+	if err != nil {
 		return 0, err
 	}
-	return f.inner.ReadAt(p, off)
+	n, err := f.inner.ReadAt(p, off)
+	if n > 0 {
+		// Bit rot presents as a clean read of wrong bytes: the corruptor
+		// mutates the result after the inner read succeeded, so no error
+		// surfaces here — only checksums downstream can catch it.
+		f.fs.corrupt(OpReadAt, f.name, cnt, p[:n], off)
+	}
+	return n, err
 }
 
 func (f *errorFile) Sync() error {

@@ -1,0 +1,143 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestErrorFSCorruptNthFlipsMiddleByte(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	data := []byte("0123456789abcdef")
+	mustCreate(t, fs, "a", data, true)
+	fs.SetCorruptor(CorruptNth(OpReadAt, 1, false))
+
+	got := readAll(t, fs, "a")
+	want := append([]byte(nil), data...)
+	want[len(want)/2] ^= 0xff
+	if !bytes.Equal(got, want) {
+		t.Fatalf("first read = %q, want middle byte flipped (%q)", got, want)
+	}
+
+	// Only the nth occurrence is corrupted; later reads pass through.
+	if got := readAll(t, fs, "a"); !bytes.Equal(got, data) {
+		t.Fatalf("second read = %q, want clean %q", got, data)
+	}
+
+	// The at-rest bytes were never touched: bit rot presented on the read
+	// path only.
+	if got := readAll(t, NewErrorFS(fs.inner), "a"); !bytes.Equal(got, data) {
+		t.Fatalf("at-rest bytes = %q, want %q", got, data)
+	}
+}
+
+func TestErrorFSCorruptNthZeroesResult(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	data := []byte("0123456789")
+	mustCreate(t, fs, "a", data, true)
+	fs.SetCorruptor(CorruptNth(OpReadAt, 1, true))
+
+	got := readAll(t, fs, "a")
+	if !bytes.Equal(got, make([]byte, len(data))) {
+		t.Fatalf("zeroing corruptor read = %q, want all zeros", got)
+	}
+}
+
+func TestErrorFSCorruptNthIgnoresOtherOps(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	data := []byte("0123456789")
+	mustCreate(t, fs, "a", data, true)
+	// A corruptor targeting an op the read path never consults must be a
+	// no-op: only OpReadAt results flow through Corrupt.
+	fs.SetCorruptor(CorruptNth(OpSync, 1, false))
+
+	if got := readAll(t, fs, "a"); !bytes.Equal(got, data) {
+		t.Fatalf("read = %q, want clean %q", got, data)
+	}
+}
+
+func TestErrorFSCorruptProbSeededDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte("payload-"), 16)
+	run := func(seed int64) []int {
+		fs := NewErrorFS(NewMem())
+		mustCreate(t, fs, "a", data, true)
+		fs.SetCorruptor(CorruptProb(seed, 0.5, OpReadAt))
+		var corrupted []int
+		for i := 0; i < 40; i++ {
+			if !bytes.Equal(readAll(t, fs, "a"), data) {
+				corrupted = append(corrupted, i)
+			}
+		}
+		return corrupted
+	}
+
+	a, b := run(42), run(42)
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("p=0.5 corrupted %d/40 reads, want a mix", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestErrorFSFilterCorruptName(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	data := []byte("0123456789")
+	mustCreate(t, fs, "victim", data, true)
+	mustCreate(t, fs, "other", data, true)
+	fs.SetCorruptor(FilterCorruptName(
+		func(name string) bool { return name == "victim" },
+		CorruptNth(OpReadAt, 1, false)))
+
+	// The filtered-out file reads clean and, because the nth-occurrence
+	// counter is global, consumes the corruptor's one shot.
+	if got := readAll(t, fs, "other"); !bytes.Equal(got, data) {
+		t.Fatalf("filtered file corrupted: %q", got)
+	}
+	if got := readAll(t, fs, "victim"); !bytes.Equal(got, data) {
+		t.Fatalf("nth occurrence already consumed, read = %q", got)
+	}
+}
+
+func TestErrorFSCorruptFileRangeAtRest(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	data := []byte("0123456789abcdef")
+	mustCreate(t, fs, "a", data, true)
+
+	if err := fs.CorruptFileRange("a", 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), data...)
+	for i := 4; i < 7; i++ {
+		want[i] ^= 0xff
+	}
+	// At-rest rot is visible on every subsequent read, through any handle.
+	for i := 0; i < 2; i++ {
+		if got := readAll(t, fs, "a"); !bytes.Equal(got, want) {
+			t.Fatalf("read %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestErrorFSCorruptFileRangeBeyondEOF(t *testing.T) {
+	fs := NewErrorFS(NewMem())
+	mustCreate(t, fs, "a", []byte("0123456789"), true)
+	// Rot clamped to the file: a range straddling EOF flips only the bytes
+	// that exist.
+	if err := fs.CorruptFileRange("a", 8, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, fs, "a")
+	want := []byte("01234567")
+	want = append(want, '8'^0xff, '9'^0xff)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read = %q, want %q", got, want)
+	}
+	if err := fs.CorruptFileRange("missing", 0, 1); err == nil {
+		t.Fatal("corrupting a missing file must error")
+	}
+}

@@ -237,6 +237,33 @@ func (fs *MemFS) CrashClone() *MemFS {
 	return clone
 }
 
+// CorruptFileRange flips every bit in [off, off+length) of name's at-rest
+// contents — rotted sectors in a crash or scrub image. The range is clamped
+// to the file's size; corrupting an entirely out-of-range span is a no-op.
+// Durability watermarks are untouched: rot does not alter what was synced,
+// only what the sectors now hold.
+func (fs *MemFS) CorruptFileRange(name string, off, length int64) error {
+	fs.mu.Lock()
+	f, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("corrupt %q: %w", name, ErrNotFound)
+	}
+	if off < 0 || length <= 0 {
+		return fmt.Errorf("corrupt %q: invalid range [%d,+%d)", name, off, length)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + length
+	if end > int64(len(f.data)) {
+		end = int64(len(f.data))
+	}
+	for i := off; i < end; i++ {
+		f.data[i] ^= 0xff
+	}
+	return nil
+}
+
 // AllocatedBytes returns the total allocated (non-hole) bytes across all
 // files — the space accounting that hole punching reduces.
 func (fs *MemFS) AllocatedBytes() int64 {
