@@ -13,6 +13,13 @@
 //	               the lock-set analysis at every access site
 //	mustclose    — //boltvet:mustclose values tracked from creation to a
 //	               Close, an ownership transfer, or a leak finding
+//	golifetime   — every `go` statement tied to a declared lifecycle
+//	               (//boltvet:goroutine <tracker>) or an inferred WaitGroup
+//	               join; tracker clears and awaits proved through the call
+//	               graph
+//	condcheck    — sync.Cond protocol: Wait in a rechecking loop with the
+//	               bound mutex held (and no second lock), Signal/Broadcast
+//	               after every waited-predicate mutation
 //	summary      — boltvet:ignore / ignore-begin hygiene (reasons, known
 //	               analyzer names, balanced pairs)
 //
@@ -21,6 +28,8 @@
 //	go run ./cmd/bolt-vet ./...
 //	go run ./cmd/bolt-vet -tests=false ./internal/core
 //	go run ./cmd/bolt-vet -json ./... | jq .analyzer
+//	go run ./cmd/bolt-vet -timing ./...          # per-analyzer wall time
+//	go run ./cmd/bolt-vet -list -timing ./...    # listing with measured times
 //	go run ./cmd/bolt-vet internal/boltvet/testdata/src/syncerr   # vet fixtures on purpose
 //
 // Run it from the module root: package loading resolves module-internal
@@ -33,8 +42,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/bolt-lsm/bolt/internal/boltvet"
 )
@@ -52,12 +63,13 @@ func main() {
 	tests := flag.Bool("tests", true, "also analyze *_test.go files")
 	tags := flag.String("tags", "", "comma-separated extra build tags (e.g. boltinvariants)")
 	typeErrs := flag.Bool("typeerrors", false, "print type-checking errors (analysis is best-effort under them)")
-	list := flag.Bool("list", false, "list analyzers and exit")
+	list := flag.Bool("list", false, "list analyzers and exit (with -timing, run the suite and include wall times)")
+	timing := flag.Bool("timing", false, "print a per-analyzer wall-time table after the findings")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	github := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Parse()
 
-	if *list {
+	if *list && !*timing {
 		for _, a := range boltvet.All() {
 			scope := "intraprocedural"
 			if a.RunProgram != nil {
@@ -93,7 +105,30 @@ func main() {
 		}
 	}
 
-	findings := boltvet.RunAll(pkgs, boltvet.All())
+	findings, timings := boltvet.RunAllTimed(pkgs, boltvet.All())
+
+	if *list {
+		// -list -timing: the analyzer listing, with measured wall time per
+		// analyzer (the "(program)" row is the shared call-graph + summary
+		// build the interprocedural analyzers amortize).
+		wall := make(map[string]string, len(timings))
+		for _, t := range timings {
+			wall[t.Name] = t.Duration.Round(10 * time.Microsecond).String()
+		}
+		for _, a := range boltvet.All() {
+			scope := "intraprocedural"
+			if a.RunProgram != nil {
+				scope = "interprocedural"
+			}
+			fmt.Printf("%-14s %-16s %10s  %s\n", a.Name, scope, wall[a.Name], a.Doc)
+		}
+		if w, ok := wall["(program)"]; ok {
+			fmt.Printf("%-14s %-16s %10s  %s\n", "(program)", "shared",
+				w, "call graph and function summaries shared by the interprocedural analyzers")
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		switch {
@@ -117,10 +152,24 @@ func main() {
 			fmt.Println(f.String())
 		}
 	}
+	if *timing {
+		printTimings(os.Stdout, timings)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "bolt-vet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// printTimings writes the per-analyzer wall-time table -timing asks for.
+func printTimings(w io.Writer, timings []boltvet.AnalyzerTiming) {
+	fmt.Fprintf(w, "%-14s %10s %9s\n", "analyzer", "wall", "findings")
+	var total time.Duration
+	for _, t := range timings {
+		total += t.Duration
+		fmt.Fprintf(w, "%-14s %10s %9d\n", t.Name, t.Duration.Round(10*time.Microsecond), t.Findings)
+	}
+	fmt.Fprintf(w, "%-14s %10s\n", "total", total.Round(10*time.Microsecond))
 }
 
 // escapeAnnotation escapes a message for a GitHub workflow-command value.

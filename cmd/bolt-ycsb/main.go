@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
 	"time"
@@ -61,6 +62,38 @@ func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "bolt-ycsb:", err)
 		os.Exit(1)
+	}
+}
+
+// watchInterrupt installs a SIGINT handler for graceful shutdown: the
+// returned channel closes on the first interrupt so workloads can stop at
+// an operation boundary and the deferred db.Close still flushes and syncs.
+// After that the handler uninstalls itself, so a second interrupt kills the
+// process the default way. The returned stop function uninstalls the
+// handler and joins the watcher goroutine; run defers it so the watcher
+// never outlives the database it guards. (It is a top-level function
+// because run's -sync flag variable shadows the sync package.)
+func watchInterrupt() (interrupted <-chan struct{}, stop func()) {
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt)
+	exit := make(chan struct{})
+	ch := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-sigC:
+			fmt.Fprintln(os.Stderr, "bolt-ycsb: interrupt: finishing in-flight operations, then closing")
+			signal.Stop(sigC)
+			close(ch)
+		case <-exit:
+		}
+	}()
+	return ch, func() {
+		signal.Stop(sigC)
+		close(exit)
+		wg.Wait()
 	}
 }
 
@@ -204,6 +237,8 @@ func run() (err error) {
 	if *statsEvery > 0 {
 		defer startStatsLoop(db, *statsEvery)()
 	}
+	interrupted, stopWatch := watchInterrupt()
+	defer stopWatch()
 
 	workloads := []ycsb.Workload{first}
 	if *then != "" {
@@ -230,6 +265,7 @@ func run() (err error) {
 			Threads:      *threads,
 			ValueSize:    *valueSize,
 			Seed:         *seed + int64(i),
+			Interrupt:    interrupted,
 		})
 		if err != nil {
 			return err
@@ -238,6 +274,10 @@ func run() (err error) {
 		fmt.Printf("%-3s %8d ops in %8v  %10.0f ops/s  read[%s]  write[%s]\n",
 			w, res.Ops, res.Duration.Round(time.Millisecond), res.Throughput,
 			res.Read, res.Write)
+		if res.Interrupted {
+			fmt.Println("bolt-ycsb: run interrupted; skipping remaining workloads")
+			break
+		}
 	}
 
 	s := db.Stats()

@@ -100,14 +100,22 @@ func runServer(addr, dir, httpAddr string) (err error) {
 	}
 	log.Printf("kvserver: serving %s on %s", dir, addr)
 
+	// helpers tracks the auxiliary goroutines — the observability HTTP
+	// server and the signal waiter — so neither outlives the database it
+	// reads: both are woken and joined before the deferred db.Close runs.
+	var helpers sync.WaitGroup
+	shutdown := make(chan struct{})
+
+	var hln net.Listener
 	if httpAddr != "" {
-		hln, err := net.Listen("tcp", httpAddr)
+		hln, err = net.Listen("tcp", httpAddr)
 		if err != nil {
 			return err
 		}
-		defer hln.Close()
 		log.Printf("kvserver: observability on http://%s/{metrics,events,debug/pprof}", hln.Addr())
+		helpers.Add(1)
 		go func() {
+			defer helpers.Done()
 			if serr := http.Serve(hln, observabilityMux(db)); serr != nil {
 				log.Printf("kvserver: http server stopped: %v", serr)
 			}
@@ -115,24 +123,42 @@ func runServer(addr, dir, httpAddr string) (err error) {
 	}
 
 	// Graceful shutdown on interrupt: stop accepting, wait for handlers.
+	// The shutdown channel wakes the waiter when the server exits without
+	// a signal (listener error), so it never blocks on <-stop forever.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
-	var wg sync.WaitGroup
+	helpers.Add(1)
 	go func() {
-		<-stop
-		log.Print("kvserver: shutting down")
-		_ = ln.Close() // unblocks Accept; its error is the shutdown signal
+		defer helpers.Done()
+		select {
+		case <-stop:
+			log.Print("kvserver: shutting down")
+			_ = ln.Close() // unblocks Accept; its error is the shutdown signal
+		case <-shutdown:
+		}
+	}()
+	defer func() {
+		// Drain the helpers before the database closes: stop signal
+		// delivery, wake the signal waiter, unblock http.Serve by closing
+		// its listener, then join both.
+		signal.Stop(stop)
+		close(shutdown)
+		if hln != nil {
+			_ = hln.Close()
+		}
+		helpers.Wait()
 	}()
 
+	var conns sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			wg.Wait()
+			conns.Wait()
 			return nil // listener closed
 		}
-		wg.Add(1)
+		conns.Add(1)
 		go func() {
-			defer wg.Done()
+			defer conns.Done()
 			defer conn.Close()
 			serveConn(db, conn)
 		}()

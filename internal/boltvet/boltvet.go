@@ -36,6 +36,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic produced by an analyzer.
@@ -75,7 +76,17 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{SyncErr, BarrierOrder, LockCheck, LockOrder, ErrFlow, AtomicField, GuardedBy, MustClose, SummaryCheck}
+	return []*Analyzer{SyncErr, BarrierOrder, LockCheck, LockOrder, ErrFlow, AtomicField, GuardedBy, MustClose, GoLifetime, CondCheck, SummaryCheck}
+}
+
+// AnalyzerTiming is one row of the -timing report: how long an analyzer
+// took and how many findings survived suppression and deduplication. The
+// synthetic "(program)" row accounts for the shared call-graph build and
+// summary fixed point that every interprocedural analyzer amortizes.
+type AnalyzerTiming struct {
+	Name     string
+	Duration time.Duration
+	Findings int
 }
 
 // RunAll applies every analyzer to every package, dropping suppressed
@@ -83,6 +94,12 @@ func All() []*Analyzer {
 // interprocedural, the call graph and function summaries are built once
 // over all packages.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	findings, _ := RunAllTimed(pkgs, analyzers)
+	return findings
+}
+
+// RunAllTimed is RunAll plus per-analyzer wall time, in run order.
+func RunAllTimed(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []AnalyzerTiming) {
 	sup := newSuppressions(pkgs)
 	var out []Finding
 	keep := func(f Finding) {
@@ -90,28 +107,32 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			out = append(out, f)
 		}
 	}
-	for _, p := range pkgs {
-		for _, a := range analyzers {
-			if a.Run == nil {
-				continue
+	var timings []AnalyzerTiming
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil || prog != nil {
+			continue
+		}
+		start := time.Now()
+		prog = BuildProgram(pkgs)
+		ComputeSummaries(prog)
+		timings = append(timings, AnalyzerTiming{Name: "(program)", Duration: time.Since(start)})
+	}
+	for _, a := range analyzers {
+		start := time.Now()
+		if a.Run != nil {
+			for _, p := range pkgs {
+				for _, f := range a.Run(p) {
+					keep(f)
+				}
 			}
-			for _, f := range a.Run(p) {
+		}
+		if a.RunProgram != nil {
+			for _, f := range a.RunProgram(prog) {
 				keep(f)
 			}
 		}
-	}
-	var prog *Program
-	for _, a := range analyzers {
-		if a.RunProgram == nil {
-			continue
-		}
-		if prog == nil {
-			prog = BuildProgram(pkgs)
-			ComputeSummaries(prog)
-		}
-		for _, f := range a.RunProgram(prog) {
-			keep(f)
-		}
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Duration: time.Since(start)})
 	}
 	seen := make(map[string]bool, len(out))
 	dedup := out[:0]
@@ -132,7 +153,14 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	counts := make(map[string]int, len(timings))
+	for _, f := range out {
+		counts[f.Analyzer]++
+	}
+	for i := range timings {
+		timings[i].Findings = counts[timings[i].Name]
+	}
+	return out, timings
 }
 
 // ignoreRe matches a boltvet:ignore directive, capturing the analyzer name

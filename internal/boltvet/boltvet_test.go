@@ -106,6 +106,8 @@ func TestErrFlowFixture(t *testing.T)      { runFixture(t, "errflow", ErrFlow) }
 func TestAtomicFieldFixture(t *testing.T)  { runFixture(t, "atomicfield", AtomicField) }
 func TestGuardedByFixture(t *testing.T)    { runFixture(t, "guardedby", GuardedBy) }
 func TestMustCloseFixture(t *testing.T)    { runFixture(t, "mustclose", MustClose) }
+func TestGoLifetimeFixture(t *testing.T)   { runFixture(t, "golifetime", GoLifetime) }
+func TestCondCheckFixture(t *testing.T)    { runFixture(t, "condcheck", CondCheck) }
 
 // TestSummaryCheckFixture asserts directly instead of via // want comments:
 // a directive is the entire line comment (the regexp is $-anchored so prose
@@ -163,7 +165,8 @@ func TestIgnoreBlockSuppresses(t *testing.T) {
 func TestFixturesTripTheDriver(t *testing.T) {
 	for _, fixture := range []string{
 		"syncerr", "barrierorder", "lockcheck", "lockorder",
-		"errflow", "atomicfield", "guardedby", "mustclose", "summarycheck",
+		"errflow", "atomicfield", "guardedby", "mustclose",
+		"golifetime", "condcheck", "summarycheck",
 	} {
 		pkgs, err := Load(LoadConfig{}, filepath.Join("testdata", "src", fixture))
 		if err != nil {

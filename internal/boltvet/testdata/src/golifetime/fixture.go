@@ -1,0 +1,180 @@
+// Package golifetime is the boltvet fixture for the goroutine-lifecycle
+// analyzer: every `go` statement must carry a //boltvet:goroutine
+// annotation naming its tracker (whose clear and join are proved through
+// the call graph) or follow the inferable WaitGroup Done/Wait
+// discipline.
+package golifetime
+
+import "sync"
+
+// engine mirrors the core.DB shape: a mutex/cond pair and per-goroutine
+// liveness trackers the drain loop waits on.
+type engine struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	running bool
+	workers int
+	active  bool
+	orphan  int
+}
+
+// drain is the join point: a loop whose condition mentions the trackers
+// and whose body Waits on the cond.
+func (e *engine) drain() {
+	e.mu.Lock()
+	for e.running || e.workers > 0 || e.active {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// start is the verified shape: the annotation names a bool tracker and
+// the clear is two hops down the spawned call chain.
+func (e *engine) start() {
+	e.mu.Lock()
+	e.running = true
+	//boltvet:goroutine running -- worker clears it via finish when the queue drains
+	go e.worker()
+	e.mu.Unlock()
+}
+
+func (e *engine) worker() { e.step() }
+func (e *engine) step()   { e.finish() }
+func (e *engine) finish() {
+	e.mu.Lock()
+	e.running = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// spawnWorkers is the counter shape: each worker decrements on exit.
+func (e *engine) spawnWorkers(n int) {
+	e.mu.Lock()
+	for i := 0; i < n; i++ {
+		e.workers++
+		//boltvet:goroutine workers -- each worker decrements the counter on exit; drain waits for zero
+		go e.work()
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) work() {
+	e.mu.Lock()
+	e.workers--
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// startStuck spawns a chain that never clears its tracker: the finding
+// carries the checked call chain as the witness.
+func (e *engine) startStuck() {
+	e.mu.Lock()
+	e.active = true
+	//boltvet:goroutine active -- stuck on purpose: nothing on this path clears the flag
+	go e.runner() // want `goroutine tracked by engine\.active never clears it: no path from the spawned function sets it false \(checked runner -> helper\); the drain loop waiting on it will hang`
+	e.mu.Unlock()
+}
+
+func (e *engine) runner() { e.helper() }
+func (e *engine) helper() {}
+
+// startOrphan clears its tracker but nobody ever waits on it.
+func (e *engine) startOrphan() {
+	e.mu.Lock()
+	e.orphan++
+	//boltvet:goroutine orphan -- decremented on exit, but no drain loop mentions it
+	go e.orphanWork() // want `goroutine tracker engine\.orphan is never awaited: no loop condition waits on it and no Wait\(\) joins it; the goroutine can outlive Close`
+	e.mu.Unlock()
+}
+
+func (e *engine) orphanWork() {
+	e.mu.Lock()
+	e.orphan--
+	e.mu.Unlock()
+}
+
+// startUnreasoned has a tracker but no -- why.
+func (e *engine) startUnreasoned() {
+	//boltvet:goroutine running
+	go e.worker() // want `//boltvet:goroutine running requires a reason`
+}
+
+// startUnknown names a tracker that does not resolve.
+func (e *engine) startUnknown() {
+	//boltvet:goroutine nonesuch -- fixture: the name resolves to nothing
+	go e.worker() // want `//boltvet:goroutine names "nonesuch", which is not a bool, integer, or sync\.WaitGroup tracker reachable from this spawn site`
+}
+
+// leakPlain spawns a named function with no annotation at all.
+func leakPlain(e *engine) {
+	go e.worker() // want `go statement has no declared lifecycle.*naming the bool/counter/WaitGroup that tracks it`
+}
+
+// leakLiteral spawns a literal with neither annotation nor Done.
+func leakLiteral(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement has no declared lifecycle.*adopt the WaitGroup Done/Wait discipline`
+}
+
+// fanOut is the inferable negative: Done in the literal, Wait in the
+// spawner.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOutStop is the stop-closure variant: the Wait lives in a returned
+// closure, which still counts as the spawner joining.
+func fanOutStop() (stop func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	return func() { wg.Wait() }
+}
+
+// fanOutLeaky calls Done on a WaitGroup its spawner never Waits on.
+func fanOutLeaky() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutine calls Done on WaitGroup "wg" but the spawning function never Waits on it; the goroutine can outlive its spawner`
+		defer wg.Done()
+	}()
+}
+
+// pool carries WaitGroup fields: joined counts program-wide, tasks is
+// Done'd but joined by nobody.
+type pool struct {
+	tasks  sync.WaitGroup
+	joined sync.WaitGroup
+}
+
+func (p *pool) kickTracked() {
+	p.joined.Add(1)
+	go func() {
+		defer p.joined.Done()
+	}()
+}
+
+func (p *pool) join() {
+	p.joined.Wait()
+}
+
+func (p *pool) kickLeaky() {
+	p.tasks.Add(1)
+	go func() { // want `goroutine calls Done on golifetime\.pool\.tasks but nothing in the program Waits on it; the WaitGroup joins nobody`
+		defer p.tasks.Done()
+	}()
+}
+
+// suppressed pins the reasoned-ignore path.
+func suppressed(ch chan int) {
+	//boltvet:ignore golifetime -- fixture: suppression is the behavior under test
+	go func() { ch <- 2 }()
+}

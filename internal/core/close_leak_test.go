@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// waitForGoroutines polls until the process goroutine count falls back to
+// the baseline (runtime bookkeeping lags Close by a scheduler beat) and
+// fails with the live count otherwise.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked past Close: %d live, baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// requireDrainedRegistry asserts the boltinvariants goroutine registry is
+// empty after Close. Without the tag the registry no-ops and liveNames is
+// always empty, so the assertion is meaningful only under
+// -tags boltinvariants — which is exactly how CI runs it.
+func requireDrainedRegistry(t *testing.T, db *DB) {
+	t.Helper()
+	if names := db.goros.liveNames(); len(names) != 0 {
+		t.Fatalf("goroutine registry not drained by Close: %v", names)
+	}
+}
+
+// TestCloseVsScrubLoopNoLeak races Close against the background scrubber:
+// a short interval keeps scrub passes in flight while Close drains, and
+// neither the registry nor the process goroutine count may show a
+// survivor.
+func TestCloseVsScrubLoopNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := testConfig()
+	cfg.ScrubInterval = time.Millisecond
+	db := openTestDB(t, vfs.NewMem(), cfg)
+	fill(t, db, 500, 100)
+	// Let at least one ticker fire so Close races a live pass, not an
+	// idle loop.
+	time.Sleep(5 * time.Millisecond)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireDrainedRegistry(t, db)
+	waitForGoroutines(t, baseline)
+}
+
+// TestCloseVsCompactWorkerNoLeak races Close against flush and compaction
+// workers: the write burst is sized to keep the scheduler spawning, and
+// Close lands mid-flight without waiting for idle first.
+func TestCloseVsCompactWorkerNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	db := openTestDB(t, vfs.NewMem(), boltTestConfig())
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("leak-%06d", i)), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireDrainedRegistry(t, db)
+	waitForGoroutines(t, baseline)
+}

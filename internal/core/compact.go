@@ -159,6 +159,8 @@ func (db *DB) maybeScheduleWorkLocked() {
 	}
 	if db.cfg.SeparateFlushThread && db.imm != nil && !db.flushActive {
 		db.flushActive = true
+		db.goros.register("flushLoop")
+		//boltvet:goroutine flushActive -- cleared by flushLoop when the flush claim is returned; Close and WaitIdle drain on it
 		go db.flushLoop()
 	}
 	for db.compactWorkers < db.cfg.MaxBackgroundCompactions {
@@ -177,6 +179,8 @@ func (db *DB) maybeScheduleWorkLocked() {
 			db.flushActive = true
 		}
 		db.compactWorkers++
+		db.goros.register("compactWorker")
+		//boltvet:goroutine compactWorkers -- decremented on worker exit; Close and WaitIdle drain on the counter
 		go db.compactWorker(db.takeWorkerSlotLocked(), c, r, flushFirst)
 	}
 }
@@ -206,6 +210,7 @@ func (db *DB) flushLoop() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.runFlushLocked(flushWorkerID)
+	db.goros.done("flushLoop")
 	db.flushActive = false
 	db.cond.Broadcast()
 }
@@ -279,6 +284,7 @@ func (db *DB) compactWorker(w int, c *compaction.Compaction, r *compaction.Reser
 		db.flushActive = false
 	}
 	db.inflight.Release(r)
+	db.goros.done("compactWorker")
 	db.compactWorkers--
 	db.releaseWorkerSlotLocked(w)
 	db.cond.Broadcast()

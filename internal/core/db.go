@@ -123,6 +123,12 @@ type DB struct {
 	obsoleteLogs []uint64             //boltvet:guardedby mu
 	zombies      []*manifest.FileMeta //boltvet:guardedby mu
 	physRefs     map[uint64]int       //boltvet:guardedby mu
+
+	// goros is the boltinvariants goroutine registry: tracked background
+	// goroutines register at spawn and deregister before clearing their
+	// drain tracker, so Close can assert the drain left nothing behind.
+	// No-op (and zero-cost) in default builds.
+	goros goroutineRegistry //boltvet:guardedby none -- registry carries its own mutex
 }
 
 // Open opens (creating if necessary) a database on fs.
@@ -176,6 +182,8 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 	if cfg.ScrubInterval > 0 {
 		db.scrubStop = make(chan struct{})
 		db.scrubActive = true
+		db.goros.register("scrubLoop")
+		//boltvet:goroutine scrubActive -- cleared by scrubLoop on scrubStop; Close's drain loop waits for it
 		go db.scrubLoop()
 	}
 	db.maybeScheduleWorkLocked()
@@ -598,6 +606,11 @@ func (db *DB) Close() error {
 		db.leaderActive || len(db.writers) > 0 || db.scrubActive {
 		db.cond.Wait()
 	}
+	// Under boltinvariants: every tracked goroutine deregisters before it
+	// clears its drain tracker (in the same critical section), so a
+	// completed drain implies an empty registry — a survivor here is a
+	// leaked goroutine the trackers lost sight of.
+	db.goros.assertDrained()
 	db.mu.Unlock()
 
 	var firstErr error

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// goroutineRegistry is the runtime twin of the golifetime static
+// analyzer: every tracked background goroutine registers by name at its
+// spawn site and deregisters inside its final critical section, before
+// it clears the drain tracker (scrubActive, flushActive,
+// compactWorkers) that Close waits on. That ordering makes the
+// post-drain check deterministic — once Close's drain loop observes
+// every tracker clear, the registry is provably empty, with no grace
+// window. All methods are no-ops unless the build carries
+// -tags boltinvariants, so the default build pays nothing.
+type goroutineRegistry struct {
+	mu   sync.Mutex
+	live map[string]int //boltvet:guardedby mu
+}
+
+// register records one live goroutine under name. Call it at the spawn
+// site, before the go statement, so the registry never lags the spawn.
+func (r *goroutineRegistry) register(name string) {
+	if !InvariantsEnabled {
+		return
+	}
+	r.mu.Lock()
+	if r.live == nil {
+		r.live = make(map[string]int)
+	}
+	r.live[name]++
+	r.mu.Unlock()
+}
+
+// done records one goroutine exit. Call it from the goroutine itself,
+// in the same critical section that clears its drain tracker and before
+// the clear, so a drained tracker implies a deregistered goroutine.
+func (r *goroutineRegistry) done(name string) {
+	if !InvariantsEnabled {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.live[name] <= 0 {
+		panic("core: goroutine registry underflow: done(" + name + ") without a matching register")
+	}
+	r.live[name]--
+	if r.live[name] == 0 {
+		delete(r.live, name)
+	}
+}
+
+// liveNames returns the names of still-registered goroutines, sorted,
+// with counts ("compactWorker x2").
+func (r *goroutineRegistry) liveNames() []string {
+	if !InvariantsEnabled {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for name, n := range r.live {
+		if n > 1 {
+			name = fmt.Sprintf("%s x%d", name, n)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// assertDrained panics when any tracked goroutine survived the drain.
+// Close calls it after its drain loop: a panic here means a goroutine
+// cleared its tracker without deregistering first, or never cleared it
+// at all — exactly the leak shapes golifetime proves absent statically.
+func (r *goroutineRegistry) assertDrained() {
+	if !InvariantsEnabled {
+		return
+	}
+	if names := r.liveNames(); len(names) > 0 {
+		panic(fmt.Sprintf("core: Close drained every tracker but these goroutines are still registered: %v", names))
+	}
+}

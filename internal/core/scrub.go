@@ -155,6 +155,7 @@ func (db *DB) scrubLoop() {
 		select {
 		case <-db.scrubStop:
 			db.mu.Lock()
+			db.goros.done("scrubLoop")
 			db.scrubActive = false
 			db.cond.Broadcast()
 			db.mu.Unlock()

@@ -31,6 +31,11 @@ type RunConfig struct {
 	ValueSize int
 	// Seed makes the run deterministic.
 	Seed int64
+	// Interrupt, when non-nil, aborts the run early once it becomes
+	// readable (conventionally by being closed): each thread finishes its
+	// current operation and returns. The Result then reports
+	// Interrupted=true and counts only the operations actually executed.
+	Interrupt <-chan struct{}
 }
 
 // Result summarizes one workload execution.
@@ -46,6 +51,11 @@ type Result struct {
 	// InsertedRecords is how many new records inserts added (so callers
 	// can carry RecordCount forward through the YCSB sequence).
 	InsertedRecords int64
+	// Interrupted reports that RunConfig.Interrupt cut the run short; Ops
+	// then holds the executed count, not the configured one.
+	Interrupted bool
+	// executed counts operations the threads actually completed.
+	executed int64
 }
 
 // Run executes the workload against kv.
@@ -85,14 +95,17 @@ func Run(kv KV, cfg RunConfig) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := runThread(kv, gen, ops, res); err != nil {
+			if err := runThread(kv, gen, ops, cfg.Interrupt, res); err != nil {
 				errCh <- err
 			}
 		}()
 	}
 	wg.Wait()
 	res.Duration = time.Since(start)
-	res.Throughput = float64(cfg.Ops) / res.Duration.Seconds()
+	if res.Interrupted {
+		res.Ops = res.executed
+	}
+	res.Throughput = float64(res.Ops) / res.Duration.Seconds()
 	select {
 	case err := <-errCh:
 		return nil, err
@@ -101,9 +114,19 @@ func Run(kv KV, cfg RunConfig) (*Result, error) {
 	return res, nil
 }
 
-func runThread(kv KV, gen *Generator, ops int64, res *Result) error {
-	var inserted int64
+func runThread(kv KV, gen *Generator, ops int64, interrupt <-chan struct{}, res *Result) error {
+	var inserted, executed int64
+	interrupted := false
+	defer func() { addThread(res, inserted, executed, interrupted) }()
 	for i := int64(0); i < ops; i++ {
+		// A nil interrupt channel blocks forever, so the default case
+		// always runs and uninterruptible configs pay one failed poll.
+		select {
+		case <-interrupt:
+			interrupted = true
+			return nil
+		default:
+		}
 		op := gen.Next()
 		opStart := time.Now()
 		var err error
@@ -126,6 +149,7 @@ func runThread(kv KV, gen *Generator, ops int64, res *Result) error {
 		if err != nil {
 			return fmt.Errorf("ycsb: %s %q: %w", op.Kind, op.Key, err)
 		}
+		executed++
 		res.Overall.Record(elapsed)
 		switch op.Kind {
 		case OpRead:
@@ -136,16 +160,20 @@ func runThread(kv KV, gen *Generator, ops int64, res *Result) error {
 			res.Scan.Record(elapsed)
 		}
 	}
-	addInserted(res, inserted)
 	return nil
 }
 
-var insertedMu sync.Mutex
+var resultMu sync.Mutex
 
-func addInserted(res *Result, n int64) {
-	insertedMu.Lock()
-	res.InsertedRecords += n
-	insertedMu.Unlock()
+// addThread folds one thread's tallies into the shared result.
+func addThread(res *Result, inserted, executed int64, interrupted bool) {
+	resultMu.Lock()
+	res.InsertedRecords += inserted
+	res.executed += executed
+	if interrupted {
+		res.Interrupted = true
+	}
+	resultMu.Unlock()
 }
 
 // Sequence returns the paper's recommended workload submission order:
