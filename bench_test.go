@@ -11,6 +11,7 @@ package bolt_test
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"testing"
 
 	"github.com/bolt-lsm/bolt"
@@ -140,6 +141,82 @@ func BenchmarkGet(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// benchTableDB loads n keys and compacts them all into tables, so every
+// Get in the timed loop takes the table read path (index seek, block
+// cache, block seek) regardless of b.N. The returned keys are
+// preformatted: the timed loops measure the engine, not fmt.Sprintf.
+func benchTableDB(b *testing.B, shards, n int) (*bolt.DB, [][]byte) {
+	b.Helper()
+	db, err := bolt.OpenMem(&bolt.Options{
+		Profile:       bolt.ProfileBoLT,
+		MemTableBytes: 4 << 20,
+		SSTableBytes:  256 << 10,
+		L1MaxBytes:    1 << 20,
+		CacheShards:   shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	value := make([]byte, 256)
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%016d", i))
+		if err := db.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	return db, keys
+}
+
+// BenchmarkGetTable measures point reads against a fully table-resident
+// working set — the deterministic read path the CI alloc guard tracks.
+func BenchmarkGetTable(b *testing.B) {
+	db, keys := benchTableDB(b, 0, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetParallel measures concurrent cache-resident point reads with
+// the caches pinned to one shard versus auto-sized sharding. Run with
+// -cpu 8 to see the contention difference; at -cpu 1 the two configurations
+// should be equivalent.
+func BenchmarkGetParallel(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=auto", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db, keys := benchTableDB(b, tc.shards, 20000)
+			var nextWorker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each worker strides the key space from its own phase, so
+				// the union is uniform and no index state is shared.
+				i := int(nextWorker.Add(1)) * 7919
+				for pb.Next() {
+					i += 9973
+					if _, err := db.Get(keys[i%len(keys)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		})
 	}
 }

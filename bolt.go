@@ -133,6 +133,11 @@ type Options struct {
 	TableCacheEntries int
 	// BlockCacheBytes overrides the BlockCache capacity.
 	BlockCacheBytes int64
+	// CacheShards sets the shard count for the block/table/fd caches.
+	// Zero (the default) auto-sizes to the next power of two >=
+	// GOMAXPROCS, capped at 64; 1 selects the single-lock layout; other
+	// values round up to a power of two.
+	CacheShards int
 	// L0SlowdownTrigger / L0StopTrigger override the write governors;
 	// negative disables them explicitly.
 	L0SlowdownTrigger int
@@ -299,6 +304,11 @@ func (o *Options) coreConfig() core.Config {
 	}
 	if o.BlockCacheBytes > 0 {
 		c.BlockCacheBytes = o.BlockCacheBytes
+	}
+	// Passed through even when negative: core clamps invalid values and
+	// emits a config-clamp warning event naming the knob.
+	if o.CacheShards != 0 {
+		c.CacheShards = o.CacheShards
 	}
 	if o.L0SlowdownTrigger != 0 {
 		c.L0SlowdownTrigger = max(o.L0SlowdownTrigger, 0)
@@ -577,6 +587,12 @@ type Stats struct {
 	MetaBytesRead    int64
 	BlockCacheHits   int64
 	BlockCacheMisses int64
+
+	// BlockCacheUsedBytes is the block cache's resident charge;
+	// CacheShards is the resolved per-cache shard count (see
+	// Options.CacheShards).
+	BlockCacheUsedBytes int64
+	CacheShards         int
 }
 
 // Stats returns current counters.
@@ -585,29 +601,31 @@ func (db *DB) Stats() Stats {
 	m := db.inner.Metrics().Snapshot()
 	cs := db.inner.CacheStats()
 	return Stats{
-		TableCacheHits:     cs.TableHits,
-		TableCacheMisses:   cs.TableMisses,
-		MetaBytesRead:      cs.MetaBytesRead,
-		BlockCacheHits:     cs.BlockHits,
-		BlockCacheMisses:   cs.BlockMisses,
-		Fsyncs:             ios.Fsyncs,
-		BytesWritten:       ios.BytesWritten,
-		BytesRead:          ios.BytesRead,
-		HolePunches:        ios.HolePunches,
-		Writes:             m.Writes,
-		Gets:               m.Gets,
-		BytesIn:            m.BytesIn,
-		StallSlowdown:      m.StallSlowdown,
-		StallStops:         m.StallStops,
-		StallTime:          m.StallTime,
-		Compactions:        m.Compactions,
-		MemtableFlushes:    m.MemtableFlushes,
-		SettledPromotions:  m.SettledPromotions,
-		SeekCompactions:    m.SeekCompactions,
-		CompactionBytesIn:  m.CompactionBytesIn,
-		CompactionBytesOut: m.CompactionBytesOut,
-		TablesChecked:      m.TablesChecked,
-		BloomSkips:         m.BloomSkips,
+		TableCacheHits:      cs.TableHits,
+		TableCacheMisses:    cs.TableMisses,
+		MetaBytesRead:       cs.MetaBytesRead,
+		BlockCacheHits:      cs.BlockHits,
+		BlockCacheMisses:    cs.BlockMisses,
+		BlockCacheUsedBytes: cs.BlockUsedBytes,
+		CacheShards:         cs.BlockShards,
+		Fsyncs:              ios.Fsyncs,
+		BytesWritten:        ios.BytesWritten,
+		BytesRead:           ios.BytesRead,
+		HolePunches:         ios.HolePunches,
+		Writes:              m.Writes,
+		Gets:                m.Gets,
+		BytesIn:             m.BytesIn,
+		StallSlowdown:       m.StallSlowdown,
+		StallStops:          m.StallStops,
+		StallTime:           m.StallTime,
+		Compactions:         m.Compactions,
+		MemtableFlushes:     m.MemtableFlushes,
+		SettledPromotions:   m.SettledPromotions,
+		SeekCompactions:     m.SeekCompactions,
+		CompactionBytesIn:   m.CompactionBytesIn,
+		CompactionBytesOut:  m.CompactionBytesOut,
+		TablesChecked:       m.TablesChecked,
+		BloomSkips:          m.BloomSkips,
 	}
 }
 
@@ -724,6 +742,7 @@ const (
 	EventScrubFinding      = events.TypeScrubFinding
 	EventQuarantine        = events.TypeQuarantine
 	EventQuarantineClear   = events.TypeQuarantineClear
+	EventConfigClamp       = events.TypeConfigClamp
 )
 
 // Events returns the retained event trace, oldest first. The ring holds

@@ -46,6 +46,7 @@ func main() {
 		dir      = flag.String("db", filepath.Join(os.TempDir(), "bolt-kvserver"), "database directory")
 		demo     = flag.Bool("demo", false, "run the demo client instead of a server")
 		httpAddr = flag.String("http", "", "serve /metrics, /events and /debug/pprof on this address (e.g. :7780)")
+		shards   = flag.Int("cache-shards", 0, "block/table/fd cache shard count (0 = auto-size to GOMAXPROCS, 1 = single lock)")
 	)
 	flag.Parse()
 	if *demo {
@@ -54,7 +55,7 @@ func main() {
 		}
 		return
 	}
-	if err := runServer(*addr, *dir, *httpAddr); err != nil {
+	if err := runServer(*addr, *dir, *httpAddr, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -83,8 +84,8 @@ func observabilityMux(db *bolt.DB) *http.ServeMux {
 	return mux
 }
 
-func runServer(addr, dir, httpAddr string) (err error) {
-	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT})
+func runServer(addr, dir, httpAddr string, cacheShards int) (err error) {
+	db, err := bolt.Open(dir, &bolt.Options{Profile: bolt.ProfileBoLT, CacheShards: cacheShards})
 	if err != nil {
 		return err
 	}

@@ -114,95 +114,143 @@ func (b *Builder) Reset() {
 	b.lastKey = b.lastKey[:0]
 }
 
-// Reader provides access to a finished block.
+// Reader provides access to a finished block. The restart array is kept
+// in its encoded form and decoded on demand: materializing it as []uint32
+// would cost one allocation per block read — on the Get hot path, per
+// lookup — for data the binary search touches only O(log n) entries of.
 type Reader struct {
 	data        []byte // entry region only
-	restarts    []uint32
+	restartData []byte // encoded restart array, 4 bytes per restart
 	numRestarts int
 }
 
 // NewReader parses the framing of a finished block.
 func NewReader(data []byte) (*Reader, error) {
+	r := new(Reader)
+	if err := r.Init(data); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Init parses the framing of a finished block in place, so callers on hot
+// paths can keep the Reader on the stack instead of heap-allocating one
+// per block read.
+func (r *Reader) Init(data []byte) error {
 	if len(data) < 4 {
-		return nil, fmt.Errorf("%w: too short (%d bytes)", ErrCorrupt, len(data))
+		return fmt.Errorf("%w: too short (%d bytes)", ErrCorrupt, len(data))
 	}
 	n := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
 	restartsOff := len(data) - 4 - 4*n
 	if n <= 0 || restartsOff < 0 {
-		return nil, fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
+		return fmt.Errorf("%w: bad restart count %d", ErrCorrupt, n)
 	}
-	restarts := make([]uint32, n)
 	for i := 0; i < n; i++ {
-		restarts[i] = binary.LittleEndian.Uint32(data[restartsOff+4*i:])
-		if int(restarts[i]) > restartsOff {
-			return nil, fmt.Errorf("%w: restart %d out of range", ErrCorrupt, i)
+		if int(binary.LittleEndian.Uint32(data[restartsOff+4*i:])) > restartsOff {
+			return fmt.Errorf("%w: restart %d out of range", ErrCorrupt, i)
 		}
 	}
-	return &Reader{data: data[:restartsOff], restarts: restarts, numRestarts: n}, nil
+	r.data = data[:restartsOff]
+	r.restartData = data[restartsOff : len(data)-4]
+	r.numRestarts = n
+	return nil
 }
 
-// decodeEntry parses the entry at off. prevKey is the fully reconstructed
-// key of the previous entry (used for the shared prefix); the returned key
-// may alias prevKey's backing array.
-func (r *Reader) decodeEntry(off int, prevKey []byte) (key, value []byte, next int, err error) {
+// restart returns the i'th restart offset (validated by Init).
+func (r *Reader) restart(i int) int {
+	return int(binary.LittleEndian.Uint32(r.restartData[4*i:]))
+}
+
+// parseHeader decodes the varint header of the entry at off, returning
+// the shared/unshared key lengths, the offset of the key suffix (the
+// value follows it), the value length, and the offset of the next entry.
+func (r *Reader) parseHeader(off int) (shared, unshared, kstart, valueLen, next int, err error) {
 	data := r.data
 	if off >= len(data) {
-		return nil, nil, 0, fmt.Errorf("%w: entry offset %d out of range", ErrCorrupt, off)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: entry offset %d out of range", ErrCorrupt, off)
 	}
 	p := off
-	shared, n := binary.Uvarint(data[p:])
+	sharedU, n := binary.Uvarint(data[p:])
 	if n <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: bad shared varint at %d", ErrCorrupt, p)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: bad shared varint at %d", ErrCorrupt, p)
 	}
 	p += n
-	unshared, n := binary.Uvarint(data[p:])
+	unsharedU, n := binary.Uvarint(data[p:])
 	if n <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: bad unshared varint at %d", ErrCorrupt, p)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: bad unshared varint at %d", ErrCorrupt, p)
 	}
 	p += n
-	valueLen, n := binary.Uvarint(data[p:])
+	valueLenU, n := binary.Uvarint(data[p:])
 	if n <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: bad value len at %d", ErrCorrupt, p)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: bad value len at %d", ErrCorrupt, p)
 	}
 	p += n
-	padLen, n := binary.Uvarint(data[p:])
+	padLenU, n := binary.Uvarint(data[p:])
 	if n <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: bad pad len at %d", ErrCorrupt, p)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: bad pad len at %d", ErrCorrupt, p)
 	}
 	p += n
-	if int(shared) > len(prevKey) {
-		return nil, nil, 0, fmt.Errorf("%w: shared %d exceeds previous key %d", ErrCorrupt, shared, len(prevKey))
-	}
-	end := p + int(unshared) + int(valueLen) + int(padLen)
+	end := p + int(unsharedU) + int(valueLenU) + int(padLenU)
 	if end > len(data) {
-		return nil, nil, 0, fmt.Errorf("%w: entry at %d overruns block", ErrCorrupt, off)
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: entry at %d overruns block", ErrCorrupt, off)
 	}
-	key = append(prevKey[:shared:shared], data[p:p+int(unshared)]...)
-	if len(key) < keys.TrailerLen {
-		// An internal key must carry its 8-byte trailer; anything shorter
-		// is corruption and would crash the comparator.
-		return nil, nil, 0, fmt.Errorf("%w: entry key at %d shorter than trailer", ErrCorrupt, off)
+	return int(sharedU), int(unsharedU), p, int(valueLenU), end, nil
+}
+
+// restartKey returns the full key of the i'th restart entry. Restart
+// entries are written with shared == 0 by construction, so the key
+// aliases the block data directly — Seek's binary search probes allocate
+// nothing.
+func (r *Reader) restartKey(i int) (keys.InternalKey, error) {
+	off := r.restart(i)
+	shared, unshared, kstart, _, _, err := r.parseHeader(off)
+	if err != nil {
+		return nil, err
 	}
-	value = data[p+int(unshared) : p+int(unshared)+int(valueLen)]
-	return key, value, end, nil
+	if shared != 0 {
+		return nil, fmt.Errorf("%w: restart entry at %d has shared prefix", ErrCorrupt, off)
+	}
+	if unshared < keys.TrailerLen {
+		return nil, fmt.Errorf("%w: entry key at %d shorter than trailer", ErrCorrupt, off)
+	}
+	return keys.InternalKey(r.data[kstart : kstart+unshared]), nil
 }
 
 // Iter returns an iterator positioned before the first entry.
 func (r *Reader) Iter() *Iter {
-	return &Iter{r: r, offset: -1}
+	it := new(Iter)
+	it.Init(r)
+	return it
 }
 
 // Iter iterates a block's entries in key order. Typical use:
 //
 //	for it.First(); it.Valid(); it.Next() { ... }
 //	if err := it.Err(); err != nil { ... }
+//
+// Keys are reconstructed into a buffer that is reused across positioning
+// calls — Key and Value are valid only until the next move, per the
+// engine-wide iterator contract.
 type Iter struct {
 	r      *Reader
 	offset int // -1 before first / after exhaustion
 	next   int
-	key    []byte
+	buf    []byte // reused backing for reconstructed keys
+	key    keys.InternalKey
 	value  []byte
 	err    error
+}
+
+// Init points the iterator at r, positioned before the first entry. The
+// key buffer is retained across Init calls so one stack Iter can walk
+// many blocks without reallocating.
+func (it *Iter) Init(r *Reader) {
+	it.r = r
+	it.offset = -1
+	it.next = 0
+	it.key = nil
+	it.value = nil
+	it.err = nil
 }
 
 // Valid reports whether the iterator is positioned at an entry.
@@ -223,17 +271,33 @@ func (it *Iter) setInvalid() {
 	it.value = nil
 }
 
-func (it *Iter) decodeAt(off int, prevKey []byte) bool {
-	key, value, next, err := it.r.decodeEntry(off, prevKey)
+// decodeAt decodes the entry at off into the reused key buffer. prevLen
+// is the number of leading bytes of it.buf that hold the previous entry's
+// key (0 when off is a restart point, where shared must be 0).
+func (it *Iter) decodeAt(off, prevLen int) bool {
+	shared, unshared, kstart, valueLen, next, err := it.r.parseHeader(off)
 	if err != nil {
 		it.err = err
 		it.setInvalid()
 		return false
 	}
+	if shared > prevLen {
+		it.err = fmt.Errorf("%w: shared %d exceeds previous key %d", ErrCorrupt, shared, prevLen)
+		it.setInvalid()
+		return false
+	}
+	if shared+unshared < keys.TrailerLen {
+		// An internal key must carry its 8-byte trailer; anything shorter
+		// is corruption and would crash the comparator.
+		it.err = fmt.Errorf("%w: entry key at %d shorter than trailer", ErrCorrupt, off)
+		it.setInvalid()
+		return false
+	}
+	it.buf = append(it.buf[:shared], it.r.data[kstart:kstart+unshared]...)
+	it.key = it.buf
+	it.value = it.r.data[kstart+unshared : kstart+unshared+valueLen]
 	it.offset = off
 	it.next = next
-	it.key = key
-	it.value = value
 	return true
 }
 
@@ -244,7 +308,7 @@ func (it *Iter) First() bool {
 		it.setInvalid()
 		return false
 	}
-	return it.decodeAt(0, nil)
+	return it.decodeAt(0, 0)
 }
 
 // Next advances to the next entry.
@@ -256,7 +320,7 @@ func (it *Iter) Next() bool {
 		it.setInvalid()
 		return false
 	}
-	return it.decodeAt(it.next, it.key)
+	return it.decodeAt(it.next, len(it.key))
 }
 
 // Seek positions the iterator at the first entry with internal key >= target.
@@ -264,10 +328,12 @@ func (it *Iter) Seek(target keys.InternalKey) bool {
 	it.err = nil
 	r := it.r
 	// Binary search restarts for the last restart whose key < target.
+	// Probe keys alias the block data (restart entries have no shared
+	// prefix), so the search allocates nothing.
 	lo, hi := 0, r.numRestarts-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		key, _, _, err := r.decodeEntry(int(r.restarts[mid]), nil)
+		key, err := r.restartKey(mid)
 		if err != nil {
 			it.err = err
 			it.setInvalid()
@@ -280,7 +346,7 @@ func (it *Iter) Seek(target keys.InternalKey) bool {
 		}
 	}
 	// Linear scan forward from the chosen restart.
-	if !it.decodeAt(int(r.restarts[lo]), nil) {
+	if !it.decodeAt(r.restart(lo), 0) {
 		return false
 	}
 	for keys.Compare(it.key, target) < 0 {

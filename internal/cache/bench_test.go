@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkBlockCacheGetParallel hammers a cache-resident working set from
+// parallel goroutines. With shards=1 every hit serializes through one
+// mutex (and its LRU-order splice); sharding splits that critical section
+// across independent locks. Run with -cpu 8 to expose the contention.
+func BenchmarkBlockCacheGetParallel(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"shards=1", 1},
+		{"shards=auto", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			// 2x headroom: hashing spreads keys only approximately evenly,
+			// and a shard that exceeds its slice of the budget would evict.
+			const n = 4096
+			c := NewBlockCache(2*n*(128+64), tc.shards)
+			payload := make([]byte, 128)
+			for i := 0; i < n; i++ {
+				c.Insert(7, int64(i)*4096, payload)
+			}
+			var nextWorker atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(nextWorker.Add(1)) * 7919
+				for pb.Next() {
+					i += 9973
+					if _, ok := c.Get(7, int64(i%n)*4096); !ok {
+						b.Fatal("cache-resident key missed")
+					}
+				}
+			})
+		})
+	}
+}

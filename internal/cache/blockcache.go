@@ -6,15 +6,23 @@ type BlockKey struct {
 	Offset  int64
 }
 
-// BlockCache is a byte-capacity LRU over decoded data blocks. It satisfies
-// sstable.BlockCache.
-type BlockCache struct {
-	lru *lru[BlockKey, []byte]
+func hashBlockKey(k BlockKey) uint64 {
+	return mix64(k.TableID ^ mix64(uint64(k.Offset)))
 }
 
-// NewBlockCache returns a block cache holding up to capacity bytes.
-func NewBlockCache(capacity int64) *BlockCache {
-	return &BlockCache{lru: newLRU[BlockKey, []byte](capacity, nil)}
+// BlockCache is a byte-capacity LRU over decoded data blocks, sharded by
+// key hash. It satisfies sstable.BlockCache and inherits its ownership
+// rule: Insert transfers the slice to the cache, and Get hands back the
+// shared backing array, which callers must treat as read-only.
+type BlockCache struct {
+	lru *sharded[BlockKey, []byte] //boltvet:guardedby none -- immutable after NewBlockCache; shards lock themselves
+}
+
+// NewBlockCache returns a block cache holding up to capacity bytes split
+// across shards LRU shards (0 = auto-size to GOMAXPROCS, 1 = single
+// lock).
+func NewBlockCache(capacity int64, shards int) *BlockCache {
+	return &BlockCache{lru: newSharded[BlockKey, []byte](shards, capacity, hashBlockKey, nil)}
 }
 
 // Get implements sstable.BlockCache.
@@ -30,5 +38,8 @@ func (c *BlockCache) Insert(tableID uint64, off int64, data []byte) {
 // UsedBytes returns the current charge.
 func (c *BlockCache) UsedBytes() int64 { return c.lru.usedCharge() }
 
-// Stats returns hit/miss counters.
+// Stats returns hit/miss counters aggregated across shards.
 func (c *BlockCache) Stats() (hits, misses int64) { return c.lru.stats() }
+
+// Shards returns the shard count the cache was built with.
+func (c *BlockCache) Shards() int { return c.lru.shardCount() }

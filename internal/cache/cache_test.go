@@ -100,7 +100,7 @@ func TestLRUConcurrent(t *testing.T) {
 }
 
 func TestBlockCache(t *testing.T) {
-	bc := NewBlockCache(1000)
+	bc := NewBlockCache(1000, 1)
 	bc.Insert(1, 0, make([]byte, 400))
 	bc.Insert(1, 4096, make([]byte, 400))
 	if _, ok := bc.Get(1, 0); !ok {
@@ -146,7 +146,7 @@ func buildTableFile(t testing.TB, fs vfs.FS, num uint64, n int) *manifest.FileMe
 
 func TestTableCacheHitMiss(t *testing.T) {
 	fs := vfs.NewMem()
-	tc := NewTableCache(fs, 2, nil, nil, sstable.Config{})
+	tc := NewTableCache(fs, 2, 1, nil, nil, sstable.Config{})
 	defer tc.Close()
 	metas := []*manifest.FileMeta{
 		buildTableFile(t, fs, 1, 100),
@@ -188,7 +188,7 @@ func TestTableCacheHitMiss(t *testing.T) {
 
 func TestTableCacheReaderSurvivesEviction(t *testing.T) {
 	fs := vfs.NewMem()
-	tc := NewTableCache(fs, 1, nil, nil, sstable.Config{})
+	tc := NewTableCache(fs, 1, 1, nil, nil, sstable.Config{})
 	defer tc.Close()
 	m1 := buildTableFile(t, fs, 1, 50)
 	m2 := buildTableFile(t, fs, 2, 50)
@@ -232,9 +232,9 @@ func TestFDCacheSharesDescriptors(t *testing.T) {
 	m1 := &manifest.FileMeta{Num: 101, PhysNum: 9, Offset: 0, Size: info1.Size, Smallest: info1.Smallest, Largest: info1.Largest}
 	m2 := &manifest.FileMeta{Num: 102, PhysNum: 9, Offset: info1.Size, Size: info2.Size, Smallest: info2.Smallest, Largest: info2.Largest}
 
-	fdc := NewFDCache(fs, 100)
+	fdc := NewFDCache(fs, 100, 4)
 	defer fdc.Close()
-	tc := NewTableCache(fs, 100, fdc, nil, sstable.Config{})
+	tc := NewTableCache(fs, 100, 4, fdc, nil, sstable.Config{})
 	defer tc.Close()
 
 	opsBefore := dev.Stats().MetadataOps
@@ -267,7 +267,7 @@ func TestFDCacheSharesDescriptors(t *testing.T) {
 func TestFDCacheEvictClosesWhenUnused(t *testing.T) {
 	fs := vfs.NewMem()
 	buildTableFile(t, fs, 1, 10)
-	fdc := NewFDCache(fs, 10)
+	fdc := NewFDCache(fs, 10, 4)
 	e, err := fdc.acquireEntry(1)
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +286,7 @@ func TestFDCacheEvictClosesWhenUnused(t *testing.T) {
 
 func TestTableCacheEvictByNumber(t *testing.T) {
 	fs := vfs.NewMem()
-	tc := NewTableCache(fs, 10, nil, nil, sstable.Config{})
+	tc := NewTableCache(fs, 10, 4, nil, nil, sstable.Config{})
 	defer tc.Close()
 	m := buildTableFile(t, fs, 1, 10)
 	_, release, err := tc.Get(m)

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -99,6 +100,18 @@ func TestLRUInsertAfterClearEvictsImmediately(t *testing.T) {
 // pre-fix lru.insert (silent overwrite, no singleflight) the displaced
 // entries' descriptors stayed open forever and this test fails.
 func TestTableCacheRacingMissLeak(t *testing.T) {
+	// The regression must hold per shard and across shards: run the same
+	// 1000-racing-misses workload on the single-lock layout and on a
+	// sharded one (where per-shard capacity is a fraction of the total
+	// and misses on different tables coalesce in different flights).
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testTableCacheRacingMissLeak(t, shards)
+		})
+	}
+}
+
+func testTableCacheRacingMissLeak(t *testing.T, shards int) {
 	fs := &handleCountFS{FS: vfs.NewMem()}
 	const tables = 4
 	var metas []*manifest.FileMeta
@@ -106,7 +119,7 @@ func TestTableCacheRacingMissLeak(t *testing.T) {
 		metas = append(metas, buildTableFile(t, fs, i, 20))
 	}
 
-	tc := NewTableCache(fs, tables, nil, nil, sstable.Config{})
+	tc := NewTableCache(fs, tables, shards, nil, nil, sstable.Config{})
 	const goroutines = 8
 	const rounds = 125 // x8 goroutines = 1000 racing Get attempts
 	start := make(chan struct{})
@@ -150,7 +163,7 @@ func TestTableCacheRacingMissLeak(t *testing.T) {
 func TestTableCacheSingleflightChargesOnce(t *testing.T) {
 	fs := &handleCountFS{FS: vfs.NewMem()}
 	m := buildTableFile(t, fs, 1, 50)
-	tc := NewTableCache(fs, 4, nil, nil, sstable.Config{})
+	tc := NewTableCache(fs, 4, 4, nil, nil, sstable.Config{})
 	defer tc.Close()
 
 	gate := make(chan struct{})
@@ -193,12 +206,20 @@ func TestTableCacheSingleflightChargesOnce(t *testing.T) {
 // TestFDCacheRacingMissLeak is the same regression at the descriptor
 // layer: racing acquireEntry calls plus evictions must not leak handles.
 func TestFDCacheRacingMissLeak(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testFDCacheRacingMissLeak(t, shards)
+		})
+	}
+}
+
+func testFDCacheRacingMissLeak(t *testing.T, shards int) {
 	fs := &handleCountFS{FS: vfs.NewMem()}
 	const files = 3
 	for i := uint64(1); i <= files; i++ {
 		buildTableFile(t, fs, i, 5)
 	}
-	fdc := NewFDCache(fs, files)
+	fdc := NewFDCache(fs, files, shards)
 	const goroutines = 8
 	const rounds = 125
 	start := make(chan struct{})
@@ -243,8 +264,8 @@ func TestTableCacheGetEvictCloseStress(t *testing.T) {
 	for i := uint64(1); i <= tables; i++ {
 		metas = append(metas, buildTableFile(t, fs, i, 10))
 	}
-	fdc := NewFDCache(fs, 4)
-	tc := NewTableCache(fs, 3, fdc, nil, sstable.Config{})
+	fdc := NewFDCache(fs, 4, 4)
+	tc := NewTableCache(fs, 3, 4, fdc, nil, sstable.Config{})
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -299,7 +320,7 @@ func TestTableCacheGetEvictCloseStress(t *testing.T) {
 func TestFDCacheAcquireEvictRace(t *testing.T) {
 	fs := &handleCountFS{FS: vfs.NewMem()}
 	buildTableFile(t, fs, 1, 5)
-	fdc := NewFDCache(fs, 2)
+	fdc := NewFDCache(fs, 2, 4)
 
 	stop := make(chan struct{})
 	var evictors sync.WaitGroup

@@ -14,13 +14,19 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // lru is a mutex-guarded LRU map with per-entry charges and an eviction
-// callback, shared by the concrete caches. Eviction callbacks always run
-// with mu released, and every value that enters the cache is handed to
-// onEvict exactly once on its way out — whether it is evicted by
-// capacity, displaced by an insert on its key, removed, or cleared.
+// callback, shared by the concrete caches (one instance per shard since
+// the caches went sharded). Eviction callbacks always run with mu
+// released, and every value that enters the cache is handed to onEvict
+// exactly once on its way out — whether it is evicted by capacity,
+// displaced by an insert on its key, removed, or cleared.
+//
+// The hit/miss/used counters are atomics, not mu-guarded state: get
+// touches the mutex only for the map lookup and recency update, and the
+// stats/usedCharge readers never contend with it at all.
 type lru[K comparable, V any] struct {
 	// capacity and onEvict are immutable after newLRU.
 	capacity int64      //boltvet:guardedby none -- immutable after newLRU
@@ -28,12 +34,15 @@ type lru[K comparable, V any] struct {
 
 	// mu guards the map/list state below.
 	mu      sync.Mutex
-	used    int64               //boltvet:guardedby mu
 	entries map[K]*list.Element //boltvet:guardedby mu
 	order   *list.List          //boltvet:guardedby mu -- front = most recent
 	closed  bool                //boltvet:guardedby mu
 
-	hits, misses int64 //boltvet:guardedby mu
+	// used is written only while mu is held (insert/remove/clear mutate
+	// it together with the list) but read lock-free by usedCharge.
+	used   atomic.Int64 //boltvet:guardedby atomic
+	hits   atomic.Int64 //boltvet:guardedby atomic
+	misses atomic.Int64 //boltvet:guardedby atomic
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -42,7 +51,15 @@ type lruEntry[K comparable, V any] struct {
 	charge int64
 }
 
+// newLRU builds one LRU shard. A non-positive capacity would otherwise
+// build a cache that can never retain an entry (the callers' knobs treat
+// zero as "use the default" long before this layer, so a non-positive
+// value here is a bug or an aggressive shard split); clamp to 1 so the
+// shard can always hold at least one entry.
 func newLRU[K comparable, V any](capacity int64, onEvict func(K, V)) *lru[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
 	return &lru[K, V]{
 		capacity: capacity,
 		entries:  make(map[K]*list.Element),
@@ -53,13 +70,15 @@ func newLRU[K comparable, V any](capacity int64, onEvict func(K, V)) *lru[K, V] 
 
 func (c *lru[K, V]) get(key K) (V, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		c.hits++
-		return el.Value.(*lruEntry[K, V]).value, true
+		v := el.Value.(*lruEntry[K, V]).value
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
 	}
-	c.misses++
+	c.mu.Unlock()
+	c.misses.Add(1)
 	var zero V
 	return zero, false
 }
@@ -81,23 +100,29 @@ func (c *lru[K, V]) insert(key K, value V, charge int64) {
 	}
 	if el, ok := c.entries[key]; ok {
 		old := el.Value.(*lruEntry[K, V])
-		c.used -= old.charge
+		c.used.Add(-old.charge)
 		evicted = append(evicted, &lruEntry[K, V]{key: old.key, value: old.value, charge: old.charge})
 		old.value = value
 		old.charge = charge
-		c.used += charge
+		c.used.Add(charge)
 		c.order.MoveToFront(el)
 	} else {
 		el := c.order.PushFront(&lruEntry[K, V]{key: key, value: value, charge: charge})
 		c.entries[key] = el
-		c.used += charge
+		c.used.Add(charge)
 	}
-	for c.used > c.capacity && c.order.Len() > 1 {
+	// The loop runs down to an empty list: an entry whose charge alone
+	// exceeds capacity is evicted immediately (it is the LRU tail the
+	// moment anything else is touched anyway) instead of being pinned
+	// forever holding used > capacity — with per-shard capacities a
+	// fraction of the cache total, one oversized block would otherwise
+	// wedge its whole shard over budget.
+	for c.used.Load() > c.capacity && c.order.Len() > 0 {
 		back := c.order.Back()
 		e := back.Value.(*lruEntry[K, V])
 		c.order.Remove(back)
 		delete(c.entries, e.key)
-		c.used -= e.charge
+		c.used.Add(-e.charge)
 		evicted = append(evicted, e)
 	}
 	c.mu.Unlock()
@@ -116,7 +141,7 @@ func (c *lru[K, V]) remove(key K) {
 		e = el.Value.(*lruEntry[K, V])
 		c.order.Remove(el)
 		delete(c.entries, key)
-		c.used -= e.charge
+		c.used.Add(-e.charge)
 	}
 	c.mu.Unlock()
 	if ok && c.onEvict != nil {
@@ -131,15 +156,11 @@ func (c *lru[K, V]) len() int {
 }
 
 func (c *lru[K, V]) usedCharge() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	return c.used.Load()
 }
 
 func (c *lru[K, V]) stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // clear evicts everything and closes the cache: later inserts evict their
@@ -154,7 +175,7 @@ func (c *lru[K, V]) clear() {
 	}
 	c.entries = make(map[K]*list.Element)
 	c.order.Init()
-	c.used = 0
+	c.used.Store(0)
 	c.mu.Unlock()
 	if c.onEvict != nil {
 		for _, e := range all {

@@ -1,0 +1,120 @@
+package cache
+
+import "runtime"
+
+// maxCacheShards caps both auto-sizing and explicit requests. Past this
+// point additional shards stop reducing contention (the engine never runs
+// that many concurrent readers) and only fragment capacity.
+const maxCacheShards = 64
+
+// resolveShardCount maps the CacheShards knob to the shard count actually
+// built: a non-positive request auto-sizes to GOMAXPROCS at construction
+// time, and every count is rounded up to a power of two (so shard
+// selection is a mask, not a modulo) and capped at maxCacheShards.
+func resolveShardCount(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxCacheShards {
+		n = maxCacheShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// mix64 is a 64-bit finalizer (SplitMix64's) that diffuses every input
+// bit across the output. The caches key on small dense integers (file and
+// table numbers, block offsets); without mixing, consecutive numbers
+// would stripe shards in lockstep with allocation order.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sharded hash-partitions keys across independent lru shards so
+// concurrent gets contend on one shard's mutex each instead of a single
+// cache-wide lock. Capacity is split evenly with the remainder spread one
+// unit at a time over the leading shards; newLRU clamps a shard's slice
+// to at least 1 so aggressive splits cannot produce a shard that can
+// never hold an entry.
+type sharded[K comparable, V any] struct {
+	// All fields are set by newSharded and never reassigned.
+	hash   func(K) uint64 //boltvet:guardedby none -- immutable after newSharded
+	mask   uint64         //boltvet:guardedby none -- immutable after newSharded
+	shards []*lru[K, V]   //boltvet:guardedby none -- immutable after newSharded; each shard locks itself
+}
+
+func newSharded[K comparable, V any](shardCount int, capacity int64, hash func(K) uint64, onEvict func(K, V)) *sharded[K, V] {
+	n := resolveShardCount(shardCount)
+	s := &sharded[K, V]{
+		hash:   hash,
+		mask:   uint64(n - 1),
+		shards: make([]*lru[K, V], n),
+	}
+	base := capacity / int64(n)
+	rem := capacity % int64(n)
+	for i := range s.shards {
+		c := base
+		if int64(i) < rem {
+			c++
+		}
+		s.shards[i] = newLRU[K, V](c, onEvict)
+	}
+	return s
+}
+
+// shardIndex returns the shard owning key. The fd/table caches use the
+// same index for their singleflight state, keeping "one shard = one
+// contention domain" true across both structures.
+func (s *sharded[K, V]) shardIndex(key K) int { return int(s.hash(key) & s.mask) }
+
+func (s *sharded[K, V]) shard(key K) *lru[K, V] { return s.shards[s.shardIndex(key)] }
+
+func (s *sharded[K, V]) shardCount() int { return len(s.shards) }
+
+func (s *sharded[K, V]) get(key K) (V, bool) { return s.shard(key).get(key) }
+
+func (s *sharded[K, V]) insert(key K, value V, charge int64) {
+	s.shard(key).insert(key, value, charge)
+}
+
+func (s *sharded[K, V]) remove(key K) { s.shard(key).remove(key) }
+
+func (s *sharded[K, V]) len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.len()
+	}
+	return n
+}
+
+func (s *sharded[K, V]) usedCharge() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.usedCharge()
+	}
+	return n
+}
+
+func (s *sharded[K, V]) stats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+func (s *sharded[K, V]) clear() {
+	for _, sh := range s.shards {
+		sh.clear()
+	}
+}

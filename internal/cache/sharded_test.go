@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/sstable"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// TestLRUOversizedEntryEvicted is the regression for the pinned-oversized-
+// entry bug: the eviction loop's old `order.Len() > 1` guard kept a value
+// whose charge alone exceeds capacity resident forever, holding
+// used > capacity. It must instead be evicted through onEvict like any
+// other entry.
+func TestLRUOversizedEntryEvicted(t *testing.T) {
+	var evicted []string
+	c := newLRU[string, string](10, func(k, _ string) { evicted = append(evicted, k) })
+	c.insert("giant", "x", 20)
+	if _, ok := c.get("giant"); ok {
+		t.Fatal("oversized entry stayed resident")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d, want 0", c.len())
+	}
+	if c.usedCharge() != 0 {
+		t.Fatalf("used = %d, want 0 (cache wedged over budget)", c.usedCharge())
+	}
+	if len(evicted) != 1 || evicted[0] != "giant" {
+		t.Fatalf("evicted = %v, want the oversized entry exactly once", evicted)
+	}
+
+	// An oversized same-key replacement of a resident entry must release
+	// both the displaced value and the replacement.
+	evicted = nil
+	c.insert("a", "small", 1)
+	c.insert("a", "big", 20)
+	if len(evicted) != 2 {
+		t.Fatalf("evicted = %v, want displaced value and oversized replacement", evicted)
+	}
+	if c.len() != 0 || c.usedCharge() != 0 {
+		t.Fatalf("len=%d used=%d after oversized replacement", c.len(), c.usedCharge())
+	}
+}
+
+// TestLRUNonPositiveCapacityClamped: a zero or negative capacity used to
+// build a cache that could never retain an entry (or never evict); it is
+// clamped so the cache can always hold at least one unit of charge.
+func TestLRUNonPositiveCapacityClamped(t *testing.T) {
+	for _, capacity := range []int64{0, -5} {
+		c := newLRU[string, int](capacity, nil)
+		c.insert("a", 1, 1)
+		if _, ok := c.get("a"); !ok {
+			t.Fatalf("capacity %d: cache cannot hold a single charge-1 entry", capacity)
+		}
+		c.insert("b", 2, 1) // displaces a: clamped capacity is 1, not unlimited
+		if c.usedCharge() > 1 {
+			t.Fatalf("capacity %d: used = %d, clamped cache never evicts", capacity, c.usedCharge())
+		}
+	}
+}
+
+func TestResolveShardCount(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {100, 64}, {1000, 64},
+	}
+	for _, c := range cases {
+		if got := resolveShardCount(c.in); got != c.want {
+			t.Errorf("resolveShardCount(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Auto (<= 0) resolves to a power of two >= 1 regardless of GOMAXPROCS.
+	for _, in := range []int{0, -1} {
+		got := resolveShardCount(in)
+		if got < 1 || got > maxCacheShards || got&(got-1) != 0 {
+			t.Errorf("resolveShardCount(%d) = %d, want a capped power of two", in, got)
+		}
+	}
+}
+
+// TestShardedCapacitySplit: capacity splits evenly with the remainder
+// spread over the leading shards, and undersized splits clamp to 1 per
+// shard rather than building shards that can never hold an entry.
+func TestShardedCapacitySplit(t *testing.T) {
+	s := newSharded[uint64, int](4, 10, mix64, nil)
+	var total int64
+	for _, sh := range s.shards {
+		if sh.capacity < 2 || sh.capacity > 3 {
+			t.Fatalf("shard capacity %d, want 2 or 3", sh.capacity)
+		}
+		total += sh.capacity
+	}
+	if total != 10 {
+		t.Fatalf("split capacity sums to %d, want 10", total)
+	}
+	// 2 units over 4 shards: every shard still holds at least 1.
+	s = newSharded[uint64, int](4, 2, mix64, nil)
+	for _, sh := range s.shards {
+		if sh.capacity != 1 {
+			t.Fatalf("undersized split: shard capacity %d, want clamp to 1", sh.capacity)
+		}
+	}
+}
+
+// TestShardedDistribution: dense sequential keys (file numbers, block
+// offsets) must spread across shards rather than striping a few.
+func TestShardedDistribution(t *testing.T) {
+	const shards, n = 8, 8192
+	s := newSharded[uint64, int](shards, n, mix64, nil)
+	counts := make([]int, shards)
+	for k := uint64(0); k < n; k++ {
+		counts[s.shardIndex(k)]++
+	}
+	mean := n / shards
+	for i, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("shard %d holds %d of %d keys (mean %d): bad spread %v",
+				i, c, n, mean, counts)
+		}
+	}
+
+	// Block keys from one hot table must not collapse onto one shard.
+	bs := newSharded[BlockKey, int](shards, n, hashBlockKey, nil)
+	counts = make([]int, shards)
+	for i := 0; i < 512; i++ {
+		counts[bs.shardIndex(BlockKey{TableID: 7, Offset: int64(i) * 4096})]++
+	}
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < shards/2 {
+		t.Fatalf("one table's blocks landed on %d of %d shards: %v", nonEmpty, shards, counts)
+	}
+}
+
+// TestShardedSingleShardEquivalence: with shards=1 the sharded wrapper
+// must behave exactly like the bare lru — same residency, same eviction
+// order, same stats — so CacheShards=1 truly is "today's behavior" for
+// the crash/bit-rot harnesses.
+func TestShardedSingleShardEquivalence(t *testing.T) {
+	var evictedS, evictedL []uint64
+	s := newSharded[uint64, int](1, 3, mix64, func(k uint64, _ int) { evictedS = append(evictedS, k) })
+	l := newLRU[uint64, int](3, func(k uint64, _ int) { evictedL = append(evictedL, k) })
+
+	ops := []struct {
+		kind string
+		key  uint64
+	}{
+		{"insert", 1}, {"insert", 2}, {"insert", 3},
+		{"get", 1}, {"insert", 4}, // evicts 2 (LRU after touching 1)
+		{"get", 2}, {"remove", 3}, {"insert", 5}, {"insert", 1},
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case "insert":
+			s.insert(op.key, int(op.key), 1)
+			l.insert(op.key, int(op.key), 1)
+		case "get":
+			_, okS := s.get(op.key)
+			_, okL := l.get(op.key)
+			if okS != okL {
+				t.Fatalf("get(%d): sharded=%v lru=%v", op.key, okS, okL)
+			}
+		case "remove":
+			s.remove(op.key)
+			l.remove(op.key)
+		}
+	}
+	if fmt.Sprint(evictedS) != fmt.Sprint(evictedL) {
+		t.Fatalf("eviction order diverged: sharded=%v lru=%v", evictedS, evictedL)
+	}
+	hS, mS := s.stats()
+	hL, mL := l.stats()
+	if hS != hL || mS != mL {
+		t.Fatalf("stats diverged: sharded=%d/%d lru=%d/%d", hS, mS, hL, mL)
+	}
+	if s.len() != l.len() || s.usedCharge() != l.usedCharge() {
+		t.Fatalf("residency diverged: sharded len=%d used=%d, lru len=%d used=%d",
+			s.len(), s.usedCharge(), l.len(), l.usedCharge())
+	}
+}
+
+// TestShardedConcurrent races get/insert/remove/clear across shards.
+func TestShardedConcurrent(t *testing.T) {
+	s := newSharded[uint64, int](8, 256, mix64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := uint64((i + g*31) % 400)
+				switch i % 7 {
+				case 0:
+					s.remove(k)
+				case 1:
+					s.stats()
+					s.usedCharge()
+				default:
+					s.insert(k, i, 1)
+					s.get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.clear()
+	if s.len() != 0 {
+		t.Fatalf("len = %d after clear", s.len())
+	}
+}
+
+// TestTableCacheCrossShardSingleflight gates the filesystem and fires
+// concurrent misses on tables in *different* shards: each shard runs its
+// own flight with its own leader, yet the per-table accounting still
+// charges exactly one open and one metadata read per table.
+func TestTableCacheCrossShardSingleflight(t *testing.T) {
+	fs := &handleCountFS{FS: vfs.NewMem()}
+	const tables = 4
+	var metas []*manifest.FileMeta
+	for i := uint64(1); i <= tables; i++ {
+		metas = append(metas, buildTableFile(t, fs, i, 10))
+	}
+	// Capacity well above the table count: two tables hashing to one
+	// shard must not evict each other mid-test (per-shard capacity is
+	// total/shards).
+	tc := NewTableCache(fs, 64, 4, nil, nil, sstable.Config{})
+	defer tc.Close()
+
+	// Sanity: the table numbers actually spread over more than one shard,
+	// otherwise this test silently degrades to the single-shard one.
+	shardsSeen := map[int]bool{}
+	for _, m := range metas {
+		shardsSeen[tc.lru.shardIndex(m.Num)] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Fatalf("all %d tables hashed to one shard; pick different table numbers", tables)
+	}
+
+	gate := make(chan struct{})
+	fs.setGate(gate)
+	const perTable = 4
+	var wg sync.WaitGroup
+	releases := make(chan func(), tables*perTable)
+	for _, m := range metas {
+		for g := 0; g < perTable; g++ {
+			wg.Add(1)
+			go func(m *manifest.FileMeta) {
+				defer wg.Done()
+				r, release, err := tc.Get(m)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if r.NumEntries() != 10 {
+					t.Errorf("entries = %d", r.NumEntries())
+				}
+				releases <- release
+			}(m)
+		}
+	}
+	close(gate)
+	wg.Wait()
+	close(releases)
+	for release := range releases {
+		release()
+	}
+
+	if n := fs.opens.Load(); n != tables {
+		t.Fatalf("%d filesystem opens for %d coalesced per-table misses, want %d",
+			n, tables*perTable, tables)
+	}
+	var wantMeta int64
+	for _, m := range metas {
+		r, release, err := tc.Get(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMeta += r.MetaSize()
+		release()
+	}
+	if got := tc.MetaBytesRead(); got != wantMeta {
+		t.Fatalf("metaBytesRead = %d, want exactly one read per table = %d", got, wantMeta)
+	}
+	if h, m := tc.Stats(); h == 0 || m == 0 {
+		t.Fatalf("aggregated stats: hits=%d misses=%d", h, m)
+	}
+}

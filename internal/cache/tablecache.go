@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/sstable"
@@ -61,11 +62,20 @@ func (e *fdEntry) release() {
 // missed on the same physical file while it was being opened.
 type fdCall struct {
 	done chan struct{} //boltvet:guardedby none -- created once, closed once by the leader
-	// waiters is written under FDCache.mu before done is closed; the
-	// leader pre-acquires one reference per waiter at publish time.
-	waiters int      //boltvet:guardedby none -- written under FDCache.mu (a foreign mutex, outside the vocabulary)
+	// waiters is written under the owning fdFlight.mu before done is
+	// closed; the leader pre-acquires one reference per waiter at publish
+	// time.
+	waiters int      //boltvet:guardedby none -- written under the owning fdFlight.mu (a foreign mutex, outside the vocabulary)
 	e       *fdEntry //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
 	err     error    //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+}
+
+// fdFlight is one shard of the FDCache's singleflight state. Flights are
+// indexed by the same hash as the lru shards, so a key's lookup, recency
+// update, and miss coalescing all live in one contention domain.
+type fdFlight struct {
+	mu       sync.Mutex
+	inflight map[uint64]*fdCall //boltvet:guardedby mu
 }
 
 // FDCache caches open physical-file handles keyed by physical file number.
@@ -73,20 +83,23 @@ type fdCall struct {
 // share one descriptor, so the filesystem open cost is paid once per
 // compaction file instead of once per SSTable.
 type FDCache struct {
-	fs  vfs.FS                 //boltvet:guardedby none -- immutable after NewFDCache
-	lru *lru[uint64, *fdEntry] //boltvet:guardedby none -- immutable after NewFDCache; lru locks itself
-
-	// mu guards the singleflight state below.
-	mu       sync.Mutex
-	inflight map[uint64]*fdCall //boltvet:guardedby mu
+	fs      vfs.FS                     //boltvet:guardedby none -- immutable after NewFDCache
+	lru     *sharded[uint64, *fdEntry] //boltvet:guardedby none -- immutable after NewFDCache; shards lock themselves
+	flights []fdFlight                 //boltvet:guardedby none -- immutable slice after NewFDCache; each flight locks itself
 }
 
-// NewFDCache returns an fd cache over fs holding up to capacity handles.
-func NewFDCache(fs vfs.FS, capacity int) *FDCache {
-	c := &FDCache{fs: fs, inflight: make(map[uint64]*fdCall)}
-	c.lru = newLRU[uint64, *fdEntry](int64(capacity), func(_ uint64, e *fdEntry) {
+// NewFDCache returns an fd cache over fs holding up to capacity handles
+// split across shards LRU shards (0 = auto-size to GOMAXPROCS, 1 =
+// single lock).
+func NewFDCache(fs vfs.FS, capacity, shards int) *FDCache {
+	c := &FDCache{fs: fs}
+	c.lru = newSharded[uint64, *fdEntry](shards, int64(capacity), mix64, func(_ uint64, e *fdEntry) {
 		e.release() // drop the cache's own reference
 	})
+	c.flights = make([]fdFlight, c.lru.shardCount())
+	for i := range c.flights {
+		c.flights[i].inflight = make(map[uint64]*fdCall)
+	}
 	return c
 }
 
@@ -98,10 +111,11 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 	if e, ok := c.lru.get(physNum); ok && e.tryAcquire() {
 		return e, nil
 	}
-	c.mu.Lock()
-	if call, ok := c.inflight[physNum]; ok {
+	fl := &c.flights[c.lru.shardIndex(physNum)]
+	fl.mu.Lock()
+	if call, ok := fl.inflight[physNum]; ok {
 		call.waiters++
-		c.mu.Unlock()
+		fl.mu.Unlock()
 		<-call.done
 		if call.err != nil {
 			return nil, call.err
@@ -110,20 +124,20 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 		return call.e, nil
 	}
 	if e, ok := c.lru.get(physNum); ok && e.tryAcquire() {
-		// A previous flight completed between the miss and taking mu.
-		c.mu.Unlock()
+		// A previous flight completed between the miss and taking fl.mu.
+		fl.mu.Unlock()
 		return e, nil
 	}
 	call := &fdCall{done: make(chan struct{})}
-	c.inflight[physNum] = call
-	c.mu.Unlock()
+	fl.inflight[physNum] = call
+	fl.mu.Unlock()
 
 	f, err := c.fs.Open(manifest.TableFileName(physNum))
 	if err != nil {
 		call.err = fmt.Errorf("cache: open table file %d: %w", physNum, err)
-		c.mu.Lock()
-		delete(c.inflight, physNum)
-		c.mu.Unlock()
+		fl.mu.Lock()
+		delete(fl.inflight, physNum)
+		fl.mu.Unlock()
 		close(call.done)
 		return nil, call.err
 	}
@@ -131,10 +145,10 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 	e.acquire()                     // the caller's reference
 	c.lru.insert(physNum, e, 1)
 	call.e = e
-	c.mu.Lock()
-	delete(c.inflight, physNum)
+	fl.mu.Lock()
+	delete(fl.inflight, physNum)
 	waiters := call.waiters
-	c.mu.Unlock()
+	fl.mu.Unlock()
 	// No waiter can join after the delete above, so the count is final;
 	// the leader's own reference keeps e open while these are taken.
 	for i := 0; i < waiters; i++ {
@@ -148,8 +162,14 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 // is deleted).
 func (c *FDCache) Evict(physNum uint64) { c.lru.remove(physNum) }
 
-// Stats returns hit/miss counters.
+// Stats returns hit/miss counters aggregated across shards.
 func (c *FDCache) Stats() (hits, misses int64) { return c.lru.stats() }
+
+// Len returns the number of resident handles.
+func (c *FDCache) Len() int { return c.lru.len() }
+
+// Shards returns the shard count the cache was built with.
+func (c *FDCache) Shards() int { return c.lru.shardCount() }
 
 // Close evicts all handles.
 func (c *FDCache) Close() { c.lru.clear() }
@@ -166,48 +186,59 @@ func (t *Table) close() {
 	}
 }
 
+// tableCall is one in-flight table open shared by every goroutine that
+// missed on the same table number while its metadata was being read.
+type tableCall struct {
+	done chan struct{} //boltvet:guardedby none -- created once, closed once by the leader
+	// waiters is written under the owning tableFlight.mu before done is
+	// closed; the leader pre-acquires one fd reference per waiter at
+	// publish time.
+	waiters int             //boltvet:guardedby none -- written under the owning tableFlight.mu (a foreign mutex, outside the vocabulary)
+	r       *sstable.Reader //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+	fd      *fdEntry        //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+	err     error           //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
+}
+
+// tableFlight is one shard of the TableCache's singleflight state,
+// indexed by the same hash as the lru shards (see fdFlight).
+type tableFlight struct {
+	mu       sync.Mutex
+	inflight map[uint64]*tableCall //boltvet:guardedby mu
+}
+
 // TableCache caches open table readers keyed by logical table number. Its
 // capacity is a *table count*, mirroring LevelDB's max_open_files
 // semantics that the paper's TableCache analysis (Section 2.6) depends on.
 // A miss re-opens the table, which costs one metadata read of the table's
 // filter+index blocks — proportional to table size.
 type TableCache struct {
-	fs         vfs.FS               //boltvet:guardedby none -- immutable after NewTableCache
-	fdCache    *FDCache             //boltvet:guardedby none -- immutable after NewTableCache; nil means descriptors are opened per table
-	blockCache sstable.BlockCache   //boltvet:guardedby none -- immutable after NewTableCache
-	cfg        sstable.Config       //boltvet:guardedby none -- immutable after NewTableCache
-	lru        *lru[uint64, *Table] //boltvet:guardedby none -- immutable after NewTableCache; lru locks itself
+	fs         vfs.FS                   //boltvet:guardedby none -- immutable after NewTableCache
+	fdCache    *FDCache                 //boltvet:guardedby none -- immutable after NewTableCache; nil means descriptors are opened per table
+	blockCache sstable.BlockCache       //boltvet:guardedby none -- immutable after NewTableCache
+	cfg        sstable.Config           //boltvet:guardedby none -- immutable after NewTableCache
+	lru        *sharded[uint64, *Table] //boltvet:guardedby none -- immutable after NewTableCache; shards lock themselves
+	flights    []tableFlight            //boltvet:guardedby none -- immutable slice after NewTableCache; each flight locks itself
 
-	// mu guards the singleflight and miss-accounting state below.
-	mu       sync.Mutex
-	inflight map[uint64]*tableCall //boltvet:guardedby mu
 	// metaBytesRead accumulates the bytes of filter+index fetched on
 	// misses — the metadata-caching overhead measured in Figure 6. The
 	// singleflight path charges it once per actual read, not once per
 	// racing caller.
-	metaBytesRead int64 //boltvet:guardedby mu
+	metaBytesRead atomic.Int64 //boltvet:guardedby atomic
 }
 
-// tableCall is one in-flight table open shared by every goroutine that
-// missed on the same table number while its metadata was being read.
-type tableCall struct {
-	done chan struct{} //boltvet:guardedby none -- created once, closed once by the leader
-	// waiters is written under TableCache.mu before done is closed; the
-	// leader pre-acquires one fd reference per waiter at publish time.
-	waiters int             //boltvet:guardedby none -- written under TableCache.mu (a foreign mutex, outside the vocabulary)
-	r       *sstable.Reader //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
-	fd      *fdEntry        //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
-	err     error           //boltvet:guardedby none -- written by the leader before close(done); read only after <-done
-}
-
-// NewTableCache returns a table cache holding up to capacity tables.
-// fdCache may be nil (the +FC optimization disabled): each cached table
-// then owns a private descriptor opened at miss time.
-func NewTableCache(fs vfs.FS, capacity int, fdCache *FDCache, blockCache sstable.BlockCache, cfg sstable.Config) *TableCache {
-	c := &TableCache{fs: fs, fdCache: fdCache, blockCache: blockCache, cfg: cfg, inflight: make(map[uint64]*tableCall)}
-	c.lru = newLRU[uint64, *Table](int64(capacity), func(_ uint64, t *Table) {
+// NewTableCache returns a table cache holding up to capacity tables split
+// across shards LRU shards (0 = auto-size to GOMAXPROCS, 1 = single
+// lock). fdCache may be nil (the +FC optimization disabled): each cached
+// table then owns a private descriptor opened at miss time.
+func NewTableCache(fs vfs.FS, capacity, shards int, fdCache *FDCache, blockCache sstable.BlockCache, cfg sstable.Config) *TableCache {
+	c := &TableCache{fs: fs, fdCache: fdCache, blockCache: blockCache, cfg: cfg}
+	c.lru = newSharded[uint64, *Table](shards, int64(capacity), mix64, func(_ uint64, t *Table) {
 		t.close()
 	})
+	c.flights = make([]tableFlight, c.lru.shardCount())
+	for i := range c.flights {
+		c.flights[i].inflight = make(map[uint64]*tableCall)
+	}
 	return c
 }
 
@@ -222,10 +253,11 @@ func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), erro
 	if t, ok := c.lru.get(meta.Num); ok && t.fd.tryAcquire() {
 		return t.Reader, t.fd.release, nil
 	}
-	c.mu.Lock()
-	if call, ok := c.inflight[meta.Num]; ok {
+	fl := &c.flights[c.lru.shardIndex(meta.Num)]
+	fl.mu.Lock()
+	if call, ok := fl.inflight[meta.Num]; ok {
 		call.waiters++
-		c.mu.Unlock()
+		fl.mu.Unlock()
 		<-call.done
 		if call.err != nil {
 			return nil, nil, call.err
@@ -234,30 +266,30 @@ func (c *TableCache) Get(meta *manifest.FileMeta) (*sstable.Reader, func(), erro
 		return call.r, call.fd.release, nil
 	}
 	if t, ok := c.lru.get(meta.Num); ok && t.fd.tryAcquire() {
-		// A previous flight completed between the miss and taking mu.
-		c.mu.Unlock()
+		// A previous flight completed between the miss and taking fl.mu.
+		fl.mu.Unlock()
 		return t.Reader, t.fd.release, nil
 	}
 	call := &tableCall{done: make(chan struct{})}
-	c.inflight[meta.Num] = call
-	c.mu.Unlock()
+	fl.inflight[meta.Num] = call
+	fl.mu.Unlock()
 
 	r, fd, err := c.openTable(meta)
 	if err != nil {
 		call.err = err
-		c.mu.Lock()
-		delete(c.inflight, meta.Num)
-		c.mu.Unlock()
+		fl.mu.Lock()
+		delete(fl.inflight, meta.Num)
+		fl.mu.Unlock()
 		close(call.done)
 		return nil, nil, err
 	}
 	fd.acquire() // the caller's reference
 	c.lru.insert(meta.Num, &Table{Reader: r, fd: fd}, 1)
 	call.r, call.fd = r, fd
-	c.mu.Lock()
-	delete(c.inflight, meta.Num)
+	fl.mu.Lock()
+	delete(fl.inflight, meta.Num)
 	waiters := call.waiters
-	c.mu.Unlock()
+	fl.mu.Unlock()
 	// No waiter can join after the delete above, so the count is final;
 	// the leader's own reference keeps fd open while these are taken.
 	for i := 0; i < waiters; i++ {
@@ -293,9 +325,7 @@ func (c *TableCache) openTable(meta *manifest.FileMeta) (*sstable.Reader, *fdEnt
 		fd.release()
 		return nil, nil, fmt.Errorf("cache: open table %d: %w", meta.Num, err)
 	}
-	c.mu.Lock()
-	c.metaBytesRead += r.MetaSize()
-	c.mu.Unlock()
+	c.metaBytesRead.Add(r.MetaSize())
 	return r, fd, nil
 }
 
@@ -306,16 +336,17 @@ func (c *TableCache) Evict(num uint64) { c.lru.remove(num) }
 // MetaBytesRead returns the cumulative filter+index bytes fetched on
 // misses.
 func (c *TableCache) MetaBytesRead() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.metaBytesRead
+	return c.metaBytesRead.Load()
 }
 
-// Stats returns hit/miss counters.
+// Stats returns hit/miss counters aggregated across shards.
 func (c *TableCache) Stats() (hits, misses int64) { return c.lru.stats() }
 
 // Len returns the number of cached tables.
 func (c *TableCache) Len() int { return c.lru.len() }
+
+// Shards returns the shard count the cache was built with.
+func (c *TableCache) Shards() int { return c.lru.shardCount() }
 
 // Close evicts everything.
 func (c *TableCache) Close() { c.lru.clear() }

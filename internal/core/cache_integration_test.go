@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/bolt-lsm/bolt/internal/events"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+)
+
+// TestBlockCacheAliasingSafe is the regression for the block-cache
+// ownership audit: the cache hands every hit the same backing array the
+// reader inserted, so if any byte the engine returns aliased a cached
+// block, a caller scribbling on its result would corrupt every later
+// read of that block. Get must copy values, and the iterator must copy
+// keys and values, before they cross the engine boundary.
+func TestBlockCacheAliasingSafe(t *testing.T) {
+	db := openTestDB(t, vfs.NewMem(), testConfig())
+	defer db.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("value-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push everything into tables so reads go through the block cache.
+	if err := db.CompactRange(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range db.NumLevelFiles() {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no tables flushed; test would only exercise the memtable")
+	}
+
+	key := []byte("k0123")
+	got, err := db.Get(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(got)
+	// Scribble over the returned value, then over an iterator's view.
+	for i := range got {
+		got[i] = 'X'
+	}
+	it := db.NewIter(nil)
+	for ok := it.SeekGE([]byte("k0100")); ok && string(it.Key()) < "k0200"; ok = it.Next() {
+		v := it.Value()
+		for i := range v {
+			v[i] = 'Y'
+		}
+		k := it.Key()
+		for i := range k {
+			k[i] = 'Z'
+		}
+		break
+	}
+	it.Close()
+
+	again, err := db.Get(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != want {
+		t.Fatalf("caller-side mutation corrupted a later read: got %q, want %q", again, want)
+	}
+	// A full scan still sees every key intact.
+	it = db.NewIter(nil)
+	defer it.Close()
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan after mutation saw %d keys, want %d", count, n)
+	}
+}
+
+// TestConfigClampEmitsWarning: negative cache-sizing knobs are clamped to
+// their defaults with one config-clamp event per knob; zero values are
+// the documented default sentinel and stay silent.
+func TestConfigClampEmitsWarning(t *testing.T) {
+	cfg := testConfig()
+	cfg.BlockCacheBytes = -1
+	cfg.TableCacheEntries = -7
+	cfg.CacheShards = -2
+	db := openTestDB(t, vfs.NewMem(), cfg)
+	var clamps []string
+	for _, e := range db.Events() {
+		if e.Type == events.TypeConfigClamp {
+			clamps = append(clamps, e.Reason)
+		}
+	}
+	db.Close()
+	joined := strings.Join(clamps, "; ")
+	for _, knob := range []string{"BlockCacheBytes=-1", "TableCacheEntries=-7", "CacheShards=-2"} {
+		if !strings.Contains(joined, knob) {
+			t.Errorf("no config-clamp event for %s (got %q)", knob, joined)
+		}
+	}
+	if len(clamps) != 3 {
+		t.Errorf("got %d clamp events, want 3: %q", len(clamps), clamps)
+	}
+
+	// Zero values are defaults, not misconfiguration: no warning.
+	cfg = testConfig()
+	cfg.BlockCacheBytes = 0
+	cfg.TableCacheEntries = 0
+	cfg.CacheShards = 0
+	db = openTestDB(t, vfs.NewMem(), cfg)
+	defer db.Close()
+	for _, e := range db.Events() {
+		if e.Type == events.TypeConfigClamp {
+			t.Errorf("zero (default) config emitted clamp event %q", e.Reason)
+		}
+	}
+	if db.CacheStats().BlockShards < 1 {
+		t.Fatalf("shards = %d", db.CacheStats().BlockShards)
+	}
+}
+
+// TestCacheShardsResolution: the knob resolves to a power of two across
+// all three caches and shows up in CacheStats and the metric surface.
+func TestCacheShardsResolution(t *testing.T) {
+	cfg := boltTestConfig()
+	cfg.CacheShards = 3 // rounds up to 4
+	db := openTestDB(t, vfs.NewMem(), cfg)
+	defer db.Close()
+	cs := db.CacheStats()
+	if cs.BlockShards != 4 || cs.TableShards != 4 {
+		t.Fatalf("shards = block %d / table %d, want 4/4", cs.BlockShards, cs.TableShards)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"bolt_cache_block_shards 4",
+		"bolt_cache_table_shards 4",
+		"bolt_cache_fd_shards 4",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

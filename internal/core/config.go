@@ -97,6 +97,14 @@ type Config struct {
 	TableCacheEntries int
 	// BlockCacheBytes is the BlockCache capacity (8 MB LevelDB default).
 	BlockCacheBytes int64
+	// CacheShards is the shard count for the block/table/fd caches: keys
+	// hash-partition across this many independent LRU shards, each with
+	// its own lock and stats. Zero auto-sizes to the next power of two
+	// >= GOMAXPROCS (capped at 64); 1 restores the single-lock layout
+	// (the crash/bit-rot harnesses pin it for determinism); other values
+	// round up to a power of two. Negative values are clamped to auto
+	// with a warning event.
+	CacheShards int
 
 	// --- Durability ---
 
@@ -179,6 +187,9 @@ func (c *Config) ApplyDefaults() {
 	if c.BlockCacheBytes <= 0 {
 		c.BlockCacheBytes = 8 << 20
 	}
+	if c.CacheShards < 0 {
+		c.CacheShards = 0
+	}
 	switch {
 	case c.MaxBackgroundCompactions == 0:
 		n := runtime.NumCPU()
@@ -213,6 +224,25 @@ func (c *Config) ApplyDefaults() {
 	if c.EventLogSize <= 0 {
 		c.EventLogSize = 512
 	}
+}
+
+// clampWarnings describes the invalid (negative) cache-sizing knobs that
+// ApplyDefaults is about to clamp, one string per knob. Zero values stay
+// silent — zero is the documented "use the default" sentinel — but a
+// negative capacity or shard count is a caller bug that would otherwise
+// vanish into the defaults, so Open emits one warning event per entry.
+func (c *Config) clampWarnings() []string {
+	var w []string
+	if c.TableCacheEntries < 0 {
+		w = append(w, fmt.Sprintf("TableCacheEntries=%d clamped to default", c.TableCacheEntries))
+	}
+	if c.BlockCacheBytes < 0 {
+		w = append(w, fmt.Sprintf("BlockCacheBytes=%d clamped to default", c.BlockCacheBytes))
+	}
+	if c.CacheShards < 0 {
+		w = append(w, fmt.Sprintf("CacheShards=%d clamped to auto", c.CacheShards))
+	}
+	return w
 }
 
 // Validate rejects inconsistent configurations.

@@ -133,6 +133,7 @@ type DB struct {
 
 // Open opens (creating if necessary) a database on fs.
 func Open(fs vfs.FS, cfg Config) (*DB, error) {
+	clamps := cfg.clampWarnings()
 	cfg.ApplyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -153,11 +154,15 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 	db.cond = sync.NewCond(&db.mu)
 	db.fs = newCountingFS(wrapInvariantFS(fs), db.io)
 
-	db.blockCache = cache.NewBlockCache(cfg.BlockCacheBytes)
-	if cfg.FDCache {
-		db.fdCache = cache.NewFDCache(db.fs, cfg.TableCacheEntries)
+	for _, w := range clamps {
+		db.ev.Emit(events.Event{Type: events.TypeConfigClamp, Reason: w})
 	}
-	db.tableCache = cache.NewTableCache(db.fs, cfg.TableCacheEntries, db.fdCache, db.blockCache, db.sstConfig())
+
+	db.blockCache = cache.NewBlockCache(cfg.BlockCacheBytes, cfg.CacheShards)
+	if cfg.FDCache {
+		db.fdCache = cache.NewFDCache(db.fs, cfg.TableCacheEntries, cfg.CacheShards)
+	}
+	db.tableCache = cache.NewTableCache(db.fs, cfg.TableCacheEntries, cfg.CacheShards, db.fdCache, db.blockCache, db.sstConfig())
 	db.picker = &compaction.Picker{Opts: compaction.Options{
 		L0Trigger:         cfg.L0CompactionTrigger,
 		L1MaxBytes:        cfg.L1MaxBytes,
@@ -338,9 +343,16 @@ type CacheStats struct {
 	TableHits, TableMisses int64
 	MetaBytesRead          int64
 	BlockHits, BlockMisses int64
+	// BlockUsedBytes and TableUsedEntries are the resident charges:
+	// bytes for the block cache, open tables for the table cache.
+	BlockUsedBytes   int64
+	TableUsedEntries int64
+	// BlockShards and TableShards are the shard counts the caches were
+	// built with (resolved from Config.CacheShards at Open).
+	BlockShards, TableShards int
 }
 
-// CacheStats returns current cache counters.
+// CacheStats returns current cache counters, aggregated across shards.
 func (db *DB) CacheStats() CacheStats {
 	th, tm := db.tableCache.Stats()
 	bh, bm := db.blockCache.Stats()
@@ -348,6 +360,10 @@ func (db *DB) CacheStats() CacheStats {
 		TableHits: th, TableMisses: tm,
 		MetaBytesRead: db.tableCache.MetaBytesRead(),
 		BlockHits:     bh, BlockMisses: bm,
+		BlockUsedBytes:   db.blockCache.UsedBytes(),
+		TableUsedEntries: int64(db.tableCache.Len()),
+		BlockShards:      db.blockCache.Shards(),
+		TableShards:      db.tableCache.Shards(),
 	}
 }
 
@@ -430,7 +446,9 @@ func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 	db.mu.Unlock()
 	defer v.Unref()
 
-	if value, kind, found := mem.Get(key, seq); found {
+	// One seek key serves the memtables and every table probe below.
+	ikey := keys.MakeInternalKey(nil, key, seq, keys.KindSeekMax)
+	if value, kind, found := mem.GetSeek(ikey); found {
 		if kind == keys.KindDelete {
 			return nil, ErrNotFound
 		}
@@ -438,7 +456,7 @@ func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 		return append([]byte(nil), value...), nil
 	}
 	if imm != nil {
-		if value, kind, found := imm.Get(key, seq); found {
+		if value, kind, found := imm.GetSeek(ikey); found {
 			if kind == keys.KindDelete {
 				return nil, ErrNotFound
 			}
@@ -446,7 +464,7 @@ func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 			return append([]byte(nil), value...), nil
 		}
 	}
-	value, found, err := db.searchTables(v, key, seq)
+	value, found, err := db.searchTables(v, ikey)
 	if err != nil {
 		return nil, err
 	}
@@ -457,75 +475,87 @@ func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 	return value, nil
 }
 
-// searchTables looks key up in the table levels of v.
-func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byte, bool, error) {
-	ikey := keys.MakeInternalKey(nil, key, seq, keys.KindSeekMax)
-	var (
-		firstConsulted      *manifest.FileMeta
-		firstConsultedLevel int
-		consulted           int
-	)
-	consult := func(level int, f *manifest.FileMeta) ([]byte, keys.Seq, keys.Kind, bool, error) {
-		// A quarantined table's span must fail loudly rather than serve a
-		// silently wrong (older or missing) version of the key.
-		if v.IsQuarantined(f.Num) {
-			return nil, 0, 0, false, rangeCorruptError(level, f, nil)
-		}
-		consulted++
-		if firstConsulted == nil {
-			firstConsulted, firstConsultedLevel = f, level
-		}
-		db.met.TablesChecked.Add(1)
-		r, release, err := db.tableCache.Get(f)
-		if err != nil {
-			return nil, 0, 0, false, db.maybeQuarantineRead(level, f, err)
-		}
-		defer release()
-		if !r.MayContain(key) {
-			db.met.BloomSkips.Add(1)
-			return nil, 0, 0, false, nil
-		}
-		value, entrySeq, kind, found, err := r.Get(ikey)
-		if err != nil {
-			err = db.maybeQuarantineRead(level, f, err)
-		}
-		return value, entrySeq, kind, found, err
-	}
-	finish := func(value []byte, kind keys.Kind) ([]byte, bool, error) {
-		db.maybeChargeSeek(firstConsulted, firstConsultedLevel, consulted)
-		if kind == keys.KindDelete {
-			return nil, false, nil
-		}
-		return value, true, nil
-	}
+// tableSearch carries one key lookup across the table levels. It is a
+// struct with methods rather than a set of closures inside searchTables
+// so a Get that reaches the tables does not heap-allocate the closure
+// environments.
+type tableSearch struct {
+	db   *DB
+	v    *manifest.Version
+	ikey keys.InternalKey
+	key  []byte // ikey.UserKey()
 
-	// consultOverlapping searches every table in files whose range covers
-	// key and returns the newest visible version across them. Level 0 and
-	// fragmented levels hold overlapping tables whose sequence ranges may
-	// interleave (after repair, even L0's flush ordering cannot be
-	// assumed), so first-match is not safe — the winner is chosen by
-	// entry sequence number.
-	consultOverlapping := func(level int, files []*manifest.FileMeta) (value []byte, kind keys.Kind, found bool, err error) {
-		var bestSeq keys.Seq
-		for _, f := range files {
-			if !f.OverlapsUser(key, key) {
-				continue
-			}
-			v, entrySeq, k, ok, err := consult(level, f)
-			if err != nil {
-				return nil, 0, false, err
-			}
-			if ok && (!found || entrySeq > bestSeq) {
-				value, bestSeq, kind, found = v, entrySeq, k, true
-			}
-		}
-		return value, kind, found, nil
-	}
+	firstConsulted      *manifest.FileMeta
+	firstConsultedLevel int
+	consulted           int
+}
 
-	if value, kind, found, err := consultOverlapping(0, v.Levels[0]); err != nil {
+func (s *tableSearch) consult(level int, f *manifest.FileMeta) ([]byte, keys.Seq, keys.Kind, bool, error) {
+	// A quarantined table's span must fail loudly rather than serve a
+	// silently wrong (older or missing) version of the key.
+	if s.v.IsQuarantined(f.Num) {
+		return nil, 0, 0, false, rangeCorruptError(level, f, nil)
+	}
+	s.consulted++
+	if s.firstConsulted == nil {
+		s.firstConsulted, s.firstConsultedLevel = f, level
+	}
+	s.db.met.TablesChecked.Add(1)
+	r, release, err := s.db.tableCache.Get(f)
+	if err != nil {
+		return nil, 0, 0, false, s.db.maybeQuarantineRead(level, f, err)
+	}
+	defer release()
+	if !r.MayContain(s.key) {
+		s.db.met.BloomSkips.Add(1)
+		return nil, 0, 0, false, nil
+	}
+	value, entrySeq, kind, found, err := r.Get(s.ikey)
+	if err != nil {
+		err = s.db.maybeQuarantineRead(level, f, err)
+	}
+	return value, entrySeq, kind, found, err
+}
+
+func (s *tableSearch) finish(value []byte, kind keys.Kind) ([]byte, bool, error) {
+	s.db.maybeChargeSeek(s.firstConsulted, s.firstConsultedLevel, s.consulted)
+	if kind == keys.KindDelete {
+		return nil, false, nil
+	}
+	return value, true, nil
+}
+
+// consultOverlapping searches every table in files whose range covers
+// key and returns the newest visible version across them. Level 0 and
+// fragmented levels hold overlapping tables whose sequence ranges may
+// interleave (after repair, even L0's flush ordering cannot be
+// assumed), so first-match is not safe — the winner is chosen by
+// entry sequence number.
+func (s *tableSearch) consultOverlapping(level int, files []*manifest.FileMeta) (value []byte, kind keys.Kind, found bool, err error) {
+	var bestSeq keys.Seq
+	for _, f := range files {
+		if !f.OverlapsUser(s.key, s.key) {
+			continue
+		}
+		v, entrySeq, k, ok, err := s.consult(level, f)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if ok && (!found || entrySeq > bestSeq) {
+			value, bestSeq, kind, found = v, entrySeq, k, true
+		}
+	}
+	return value, kind, found, nil
+}
+
+// searchTables looks ikey's user key up in the table levels of v.
+func (db *DB) searchTables(v *manifest.Version, ikey keys.InternalKey) ([]byte, bool, error) {
+	s := tableSearch{db: db, v: v, ikey: ikey, key: ikey.UserKey()}
+
+	if value, kind, found, err := s.consultOverlapping(0, v.Levels[0]); err != nil {
 		return nil, false, err
 	} else if found {
-		return finish(value, kind)
+		return s.finish(value, kind)
 	}
 	for level := 1; level < manifest.NumLevels; level++ {
 		files := v.Levels[level]
@@ -533,31 +563,31 @@ func (db *DB) searchTables(v *manifest.Version, key []byte, seq keys.Seq) ([]byt
 			continue
 		}
 		if db.cfg.Fragmented {
-			value, kind, found, err := consultOverlapping(level, files)
+			value, kind, found, err := s.consultOverlapping(level, files)
 			if err != nil {
 				return nil, false, err
 			}
 			if found {
-				return finish(value, kind)
+				return s.finish(value, kind)
 			}
 			continue
 		}
 		// Sorted level: binary search the single candidate file.
 		idx := sort.Search(len(files), func(i int) bool {
-			return keys.CompareUser(files[i].Largest.UserKey(), key) >= 0
+			return keys.CompareUser(files[i].Largest.UserKey(), s.key) >= 0
 		})
-		if idx >= len(files) || keys.CompareUser(files[idx].Smallest.UserKey(), key) > 0 {
+		if idx >= len(files) || keys.CompareUser(files[idx].Smallest.UserKey(), s.key) > 0 {
 			continue
 		}
-		value, _, kind, found, err := consult(level, files[idx])
+		value, _, kind, found, err := s.consult(level, files[idx])
 		if err != nil {
 			return nil, false, err
 		}
 		if found {
-			return finish(value, kind)
+			return s.finish(value, kind)
 		}
 	}
-	db.maybeChargeSeek(firstConsulted, firstConsultedLevel, consulted)
+	db.maybeChargeSeek(s.firstConsulted, s.firstConsultedLevel, s.consulted)
 	return nil, false, nil
 }
 

@@ -139,6 +139,28 @@ func (db *DB) WriteMetrics(w io.Writer) error {
 		p.Counter("bolt_fd_cache_misses_total", "FD cache misses.", fm)
 	}
 
+	// The bolt_cache_* family is the sharded-cache surface: per-cache
+	// aggregated counters plus the resolved shard count, one uniform name
+	// scheme across the three caches. The used_bytes sample reports the
+	// cache's charge in its own units — bytes for the block cache,
+	// resident entries for the table and fd caches (their capacity is a
+	// count, mirroring max_open_files).
+	p.Counter("bolt_cache_block_hits", "BlockCache hits across all shards.", cs.BlockHits)
+	p.Counter("bolt_cache_block_misses", "BlockCache misses across all shards.", cs.BlockMisses)
+	p.Gauge("bolt_cache_block_used_bytes", "BlockCache resident charge in bytes.", float64(cs.BlockUsedBytes))
+	p.Gauge("bolt_cache_block_shards", "BlockCache shard count.", float64(cs.BlockShards))
+	p.Counter("bolt_cache_table_hits", "TableCache hits across all shards.", cs.TableHits)
+	p.Counter("bolt_cache_table_misses", "TableCache misses across all shards.", cs.TableMisses)
+	p.Gauge("bolt_cache_table_used_bytes", "TableCache resident charge (open tables).", float64(cs.TableUsedEntries))
+	p.Gauge("bolt_cache_table_shards", "TableCache shard count.", float64(cs.TableShards))
+	if db.fdCache != nil {
+		fh, fm := db.fdCache.Stats()
+		p.Counter("bolt_cache_fd_hits", "FD cache hits across all shards.", fh)
+		p.Counter("bolt_cache_fd_misses", "FD cache misses across all shards.", fm)
+		p.Gauge("bolt_cache_fd_used_bytes", "FD cache resident charge (open handles).", float64(db.fdCache.Len()))
+		p.Gauge("bolt_cache_fd_shards", "FD cache shard count.", float64(db.fdCache.Shards()))
+	}
+
 	ios := db.io.Snapshot()
 	p.Counter("bolt_fsyncs_total", "Barriers (fsync/fdatasync) issued.", ios.Fsyncs)
 	p.Counter("bolt_io_bytes_written_total", "Bytes written at the file layer.", ios.BytesWritten)

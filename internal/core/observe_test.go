@@ -194,6 +194,11 @@ func TestWriteMetricsPromOutput(t *testing.T) {
 		"bolt_level_write_amp{level=\"1\"}",
 		"bolt_table_cache_hits_total",
 		"bolt_fd_cache_hits_total",
+		"bolt_cache_block_hits",
+		"bolt_cache_block_used_bytes",
+		"bolt_cache_block_shards",
+		"bolt_cache_table_shards",
+		"bolt_cache_fd_shards",
 		"bolt_fsyncs_total",
 		"bolt_dead_range_bytes",
 		"bolt_events_emitted_total",

@@ -25,6 +25,10 @@ func leveldbProfile() core.Config {
 		LevelMultiplier:     10,
 		TableCacheEntries:   100,
 		BlockCacheBytes:     1 << 20,
+		// Single-lock caches: the crash/bit-rot harnesses compare runs
+		// byte for byte, so keep cache behaviour independent of the
+		// host's GOMAXPROCS.
+		CacheShards: 1,
 	}
 }
 

@@ -84,6 +84,10 @@ const (
 	// Outputs is the rewritten-table count, BytesOut the salvaged bytes,
 	// Inputs the skipped (unrecoverable) block count.
 	TypeQuarantineClear
+	// TypeConfigClamp marks an invalid (negative) configuration value
+	// clamped to its default at Open; Reason names the knob and the
+	// rejected value.
+	TypeConfigClamp
 )
 
 // String names the type.
@@ -123,6 +127,8 @@ func (t Type) String() string {
 		return "quarantine"
 	case TypeQuarantineClear:
 		return "quarantine-clear"
+	case TypeConfigClamp:
+		return "config-clamp"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -213,6 +219,8 @@ func (e Event) String() string {
 	case TypeQuarantineClear:
 		fmt.Fprintf(&b, " L%d out=%d tables %dB skipped-blocks=%d",
 			e.Level, e.Outputs, e.BytesOut, e.Inputs)
+	case TypeConfigClamp:
+		fmt.Fprintf(&b, " %s", e.Reason)
 	}
 	if e.Job != 0 {
 		switch e.Type {

@@ -133,9 +133,17 @@ func (m *MemTable) Add(seq keys.Seq, kind keys.Kind, ukey, value []byte) {
 // memtable holds no visible version; found=true with kind=KindDelete means
 // the key was deleted.
 func (m *MemTable) Get(ukey []byte, seq keys.Seq) (value []byte, kind keys.Kind, found bool) {
-	target := keys.MakeInternalKey(nil, ukey, seq, keys.KindSeekMax)
+	return m.GetSeek(keys.MakeInternalKey(nil, ukey, seq, keys.KindSeekMax))
+}
+
+// GetSeek is Get for callers that already hold an encoded seek key
+// (user key + seq + KindSeekMax): the engine's read path probes the
+// mutable and immutable memtables and every table with one target, and
+// encoding it once per lookup instead of once per probe keeps the hot
+// path allocation-free.
+func (m *MemTable) GetSeek(target keys.InternalKey) (value []byte, kind keys.Kind, found bool) {
 	n := m.seekGE(target)
-	if n == nil || keys.CompareUser(n.key.UserKey(), ukey) != 0 {
+	if n == nil || keys.CompareUser(n.key.UserKey(), target.UserKey()) != 0 {
 		return nil, 0, false
 	}
 	return n.value, n.key.Kind(), true

@@ -15,10 +15,20 @@ import (
 // BlockCache caches decoded data blocks across readers. Implemented by
 // internal/cache; declared here so sstable does not depend on the cache
 // package.
+//
+// Ownership rule: Insert transfers ownership of data to the cache — the
+// inserting reader must pass a buffer it will never write again
+// (readBlockDirect allocates a fresh payload per miss). Get returns the
+// shared backing array, not a copy; callers must treat it as read-only,
+// because every hit for that block observes the same bytes. The engine
+// upholds this by copying before anything crosses its public API:
+// Reader.Get copies the value, and the DB iterator copies both key and
+// value into its own buffers.
 type BlockCache interface {
 	// Get returns the cached block for (tableID, offset), if present.
+	// The returned slice is shared; it must not be modified.
 	Get(tableID uint64, off int64) ([]byte, bool)
-	// Insert adds a block to the cache.
+	// Insert adds a block to the cache, taking ownership of data.
 	Insert(tableID uint64, off int64, data []byte)
 }
 
@@ -258,7 +268,10 @@ func (r *Reader) Get(ikey keys.InternalKey) (value []byte, seq keys.Seq, kind ke
 	if !r.MayContain(ikey.UserKey()) {
 		return nil, 0, 0, false, nil
 	}
-	idx := r.index.Iter()
+	// Stack-allocated readers and iterators: Get runs once per table probed
+	// per lookup, so heap traffic here multiplies by read amplification.
+	var idx block.Iter
+	idx.Init(r.index)
 	if !idx.Seek(ikey) {
 		return nil, 0, 0, false, idx.Err()
 	}
@@ -270,11 +283,12 @@ func (r *Reader) Get(ikey keys.InternalKey) (value []byte, seq keys.Seq, kind ke
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
-	br, err := block.NewReader(data)
-	if err != nil {
+	var br block.Reader
+	if err := br.Init(data); err != nil {
 		return nil, 0, 0, false, r.corruptf(r.base+h.offset, err, "parse data block")
 	}
-	it := br.Iter()
+	var it block.Iter
+	it.Init(&br)
 	if !it.Seek(ikey) {
 		return nil, 0, 0, false, it.Err()
 	}

@@ -435,6 +435,41 @@ func TestBlockCacheUsed(t *testing.T) {
 	}
 }
 
+// TestGetValueDoesNotAliasCache pins the BlockCache ownership rule at
+// the reader boundary: Get must return a copy, so a caller mutating its
+// result cannot corrupt the cached block that later hits share.
+func TestGetValueDoesNotAliasCache(t *testing.T) {
+	fs := vfs.NewMem()
+	pairs := numberedPairs(100)
+	_, info := buildTable(t, fs, "t", 0, pairs, Config{})
+	f, _ := fs.Open("t")
+	defer f.Close()
+	cc := &countingCache{m: map[string][]byte{}}
+	r, err := OpenReader(f, 1, 1, 0, info.Size, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := keys.MakeInternalKey(nil, []byte("user00000050"), keys.MaxSeq, keys.KindSeekMax)
+	v1, _, _, found, err := r.Get(target)
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	want := string(v1)
+	for i := range v1 {
+		v1[i] = 'X'
+	}
+	v2, _, _, found, err := r.Get(target) // cache hit on the same block
+	if err != nil || !found {
+		t.Fatalf("Get (hit): found=%v err=%v", found, err)
+	}
+	if string(v2) != want {
+		t.Fatalf("mutating Get's result corrupted the cached block: got %q, want %q", v2, want)
+	}
+	if cc.hits == 0 {
+		t.Fatal("second Get did not hit the cache; test proved nothing")
+	}
+}
+
 func TestMetaSizeGrowsWithTableSize(t *testing.T) {
 	fs := vfs.NewMem()
 	_, small := buildTable(t, fs, "small", 0, numberedPairs(100), Config{})
