@@ -189,6 +189,43 @@ func BenchmarkGetTable(b *testing.B) {
 	}
 }
 
+// BenchmarkGetTableVLog is BenchmarkGetTable with key-value separation
+// enabled and every value below the threshold: the sub-threshold read
+// path must be byte-for-byte the unseparated one (same allocs/op the CI
+// guard tracks), since small values never touch the value log.
+func BenchmarkGetTableVLog(b *testing.B) {
+	db, err := bolt.OpenMem(&bolt.Options{
+		Profile:        bolt.ProfileBoLT,
+		MemTableBytes:  4 << 20,
+		SSTableBytes:   256 << 10,
+		L1MaxBytes:     1 << 20,
+		ValueThreshold: 1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	value := make([]byte, 256)
+	const n = 20000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%016d", i))
+		if err := db.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.CompactRange(nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGetParallel measures concurrent cache-resident point reads with
 // the caches pinned to one shard versus auto-sized sharding. Run with
 // -cpu 8 to see the contention difference; at -cpu 1 the two configurations

@@ -153,6 +153,23 @@ type Options struct {
 	// SyncWrites syncs the WAL on every commit (durable acknowledgements).
 	SyncWrites bool
 
+	// ValueThreshold enables WAL-time key-value separation: values of at
+	// least this many bytes are appended to a value log during commit and
+	// the tree stores a small pointer, so flushes and compactions never
+	// rewrite the bytes. Zero (the default) disables separation; values
+	// below the threshold are always stored inline.
+	ValueThreshold int
+	// VLogSegmentBytes sets the value-log segment rotation size
+	// (default 16 MB).
+	VLogSegmentBytes int64
+	// VLogGCGarbageRatio sets the garbage fraction of a sealed segment's
+	// uncollected span at which background value GC collects it
+	// (default 0.5; must be <= 1).
+	VLogGCGarbageRatio float64
+	// VLogGCChunkBytes bounds how much of a segment one value-GC pass
+	// scans (default 4 MB).
+	VLogGCChunkBytes int64
+
 	// ScrubInterval enables the background integrity scrubber: every
 	// interval, one pass verifies every live table's block checksums
 	// (bypassing the block cache, so at-rest bit rot is caught even for
@@ -323,6 +340,18 @@ func (o *Options) coreConfig() core.Config {
 		c.BlockSize = o.BlockSize
 	}
 	c.SyncWAL = o.SyncWrites
+	if o.ValueThreshold > 0 {
+		c.ValueThreshold = o.ValueThreshold
+	}
+	if o.VLogSegmentBytes > 0 {
+		c.VLogSegmentBytes = o.VLogSegmentBytes
+	}
+	if o.VLogGCGarbageRatio > 0 {
+		c.VLogGCGarbageRatio = o.VLogGCGarbageRatio
+	}
+	if o.VLogGCChunkBytes > 0 {
+		c.VLogGCChunkBytes = o.VLogGCChunkBytes
+	}
 	c.ScrubInterval = o.ScrubInterval
 	c.ScrubBytesPerSec = o.ScrubBytesPerSec
 	c.MaxBackgroundCompactions = o.MaxBackgroundCompactions
@@ -579,6 +608,17 @@ type Stats struct {
 	TablesChecked int64
 	BloomSkips    int64
 
+	// VLogAppends / VLogAppendedBytes count records separated into the
+	// value log at commit time; VLogDerefs counts reads that followed a
+	// pointer back into it. VLogGCPasses and VLogReclaimedBytes describe
+	// value-GC progress (bytes the GC watermark reclaimed, whether hole-
+	// punched or unlinked with a fully collected segment).
+	VLogAppends        int64
+	VLogAppendedBytes  int64
+	VLogDerefs         int64
+	VLogGCPasses       int64
+	VLogReclaimedBytes int64
+
 	// TableCacheHits/Misses and MetaBytesRead quantify the metadata-
 	// caching overhead of Section 2.6 (a TableCache miss reads the whole
 	// filter+index region, proportional to SSTable size).
@@ -626,6 +666,11 @@ func (db *DB) Stats() Stats {
 		CompactionBytesOut:  m.CompactionBytesOut,
 		TablesChecked:       m.TablesChecked,
 		BloomSkips:          m.BloomSkips,
+		VLogAppends:         m.VLogAppends,
+		VLogAppendedBytes:   m.VLogAppendedBytes,
+		VLogDerefs:          m.VLogDerefs,
+		VLogGCPasses:        m.VLogGCPasses,
+		VLogReclaimedBytes:  m.VLogReclaimedBytes,
 	}
 }
 
@@ -686,12 +731,19 @@ func (db *DB) CompactRange(start, limit []byte) error {
 	return db.inner.CompactRange(start, limit)
 }
 
+// CompactValueLog synchronously garbage-collects the value log until no
+// sealed segment has uncollected garbage, rewriting live records and
+// reclaiming dead ranges. A no-op unless Options.ValueThreshold enabled
+// key-value separation.
+func (db *DB) CompactValueLog() error { return db.inner.CompactValueLog() }
+
 // RepairReport summarizes a Repair run.
 type RepairReport struct {
 	TablesRecovered int
 	TablesLost      int
 	FilesScanned    int
 	Entries         int
+	VLogSegments    int
 }
 
 // Repair rebuilds the MANIFEST of the database at path from its table
@@ -711,6 +763,7 @@ func Repair(path string) (RepairReport, error) {
 		TablesLost:      r.TablesLost,
 		FilesScanned:    r.FilesScanned,
 		Entries:         r.Entries,
+		VLogSegments:    r.VLogSegments,
 	}, nil
 }
 
@@ -743,6 +796,8 @@ const (
 	EventQuarantine        = events.TypeQuarantine
 	EventQuarantineClear   = events.TypeQuarantineClear
 	EventConfigClamp       = events.TypeConfigClamp
+	EventVLogRotation      = events.TypeVLogRotation
+	EventVLogGC            = events.TypeVLogGC
 )
 
 // Events returns the retained event trace, oldest first. The ring holds

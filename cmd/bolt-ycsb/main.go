@@ -6,6 +6,8 @@
 //	bolt-ycsb -db /tmp/db -profile bolt -workload LA -ops 100000
 //	bolt-ycsb -storage sim -profile leveldb -workload LA -ops 50000 -then A,B,C
 //	bolt-ycsb -storage sim -profile pebblesdb -workload LA -dist uniform
+//	bolt-ycsb -db /tmp/db -preset large-value -workload LA -then A
+//	bolt-ycsb -db /tmp/db -value-size 4096 -value-size-dist zipf -value-threshold 1024
 package main
 
 import (
@@ -174,7 +176,10 @@ func run() (err error) {
 		ops        = flag.Int64("ops", 100_000, "operations for the first workload")
 		runOps     = flag.Int64("run-ops", 0, "operations for subsequent workloads (default ops/5)")
 		records    = flag.Int64("records", 0, "pre-existing record count (for non-load first workloads)")
-		valueSize  = flag.Int("value-size", 1024, "value payload bytes")
+		valueSize  = flag.Int("value-size", 1024, "value payload bytes (exact for fixed, maximum for uniform/zipf)")
+		valueDist  = flag.String("value-size-dist", "fixed", "per-write value length distribution: fixed | uniform | zipf")
+		valueThr   = flag.Int("value-threshold", 0, "separate values of at least this many bytes into the value log (0 disables)")
+		preset     = flag.String("preset", "", "flag preset: large-value (4 KiB values, separation at 1 KiB) — explicit flags win")
 		threads    = flag.Int("threads", 4, "client threads")
 		dist       = flag.String("dist", "zipfian", "zipfian | uniform | latest")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -182,6 +187,24 @@ func run() (err error) {
 		statsEvery = flag.Duration("stats-every", 0, "print an engine stats line at this interval during the run (0 disables)")
 	)
 	flag.Parse()
+
+	if *preset != "" {
+		// A preset fills in defaults; flags the user set explicitly keep
+		// their values.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		switch *preset {
+		case "large-value":
+			if !explicit["value-size"] {
+				*valueSize = 4096
+			}
+			if !explicit["value-threshold"] {
+				*valueThr = 1024
+			}
+		default:
+			return fmt.Errorf("unknown preset %q", *preset)
+		}
+	}
 
 	prof, err := parseProfile(*profile)
 	if err != nil {
@@ -202,6 +225,17 @@ func run() (err error) {
 	default:
 		return fmt.Errorf("unknown distribution %q", *dist)
 	}
+	var sizeDist ycsb.ValueSizeDist
+	switch strings.ToLower(*valueDist) {
+	case "fixed":
+		sizeDist = ycsb.FixedSize
+	case "uniform":
+		sizeDist = ycsb.UniformSize
+	case "zipf", "zipfian":
+		sizeDist = ycsb.ZipfSize
+	default:
+		return fmt.Errorf("unknown value size distribution %q", *valueDist)
+	}
 	if *runOps <= 0 {
 		*runOps = *ops / 5
 		if *runOps == 0 {
@@ -209,7 +243,7 @@ func run() (err error) {
 		}
 	}
 
-	opts := &bolt.Options{Profile: prof, SyncWrites: *sync}
+	opts := &bolt.Options{Profile: prof, SyncWrites: *sync, ValueThreshold: *valueThr}
 	var db *bolt.DB
 	switch *storage {
 	case "disk":
@@ -258,14 +292,15 @@ func run() (err error) {
 			n = *runOps
 		}
 		res, err := ycsb.Run(kv{db}, ycsb.RunConfig{
-			Workload:     w,
-			Distribution: distribution,
-			RecordCount:  recordCount,
-			Ops:          n,
-			Threads:      *threads,
-			ValueSize:    *valueSize,
-			Seed:         *seed + int64(i),
-			Interrupt:    interrupted,
+			Workload:      w,
+			Distribution:  distribution,
+			RecordCount:   recordCount,
+			Ops:           n,
+			Threads:       *threads,
+			ValueSize:     *valueSize,
+			ValueSizeDist: sizeDist,
+			Seed:          *seed + int64(i),
+			Interrupt:     interrupted,
 		})
 		if err != nil {
 			return err
@@ -281,9 +316,15 @@ func run() (err error) {
 	}
 
 	s := db.Stats()
-	fmt.Printf("\nstats: fsyncs=%d written=%d read=%d compactions=%d flushes=%d settled=%d stalls=%v holes=%d\n",
-		s.Fsyncs, s.BytesWritten, s.BytesRead, s.Compactions, s.MemtableFlushes,
-		s.SettledPromotions, s.StallTime.Round(time.Millisecond), s.HolePunches)
+	fmt.Printf("\nstats: fsyncs=%d written=%d read=%d compactions=%d cmp-out=%d flushes=%d settled=%d stalls=%v holes=%d\n",
+		s.Fsyncs, s.BytesWritten, s.BytesRead, s.Compactions, s.CompactionBytesOut,
+		s.MemtableFlushes, s.SettledPromotions, s.StallTime.Round(time.Millisecond),
+		s.HolePunches)
+	if s.VLogAppends > 0 {
+		fmt.Printf("vlog: appends=%d appended=%d derefs=%d gc-passes=%d reclaimed=%d\n",
+			s.VLogAppends, s.VLogAppendedBytes, s.VLogDerefs,
+			s.VLogGCPasses, s.VLogReclaimedBytes)
+	}
 	if sim, ok := db.SimStats(); ok {
 		fmt.Printf("device: barriers=%d flushed=%d read=%d barrier-stall=%v read-stall=%v\n",
 			sim.Barriers, sim.BytesFlushed, sim.BytesRead,

@@ -48,6 +48,19 @@ func (b *Batch) Put(key, value []byte) {
 	b.data = append(b.data, value...)
 }
 
+// PutPtr records an insertion whose value is a value-log pointer (the
+// encoded vlog.Pointer bytes). The group-commit leader rewrites large
+// KindSet records into these before the WAL append, so replay reproduces
+// the pointer entries without re-extracting values.
+func (b *Batch) PutPtr(key, ptr []byte) {
+	b.setCount(b.Count() + 1)
+	b.data = append(b.data, byte(keys.KindSetPtr))
+	b.data = binary.AppendUvarint(b.data, uint64(len(key)))
+	b.data = append(b.data, key...)
+	b.data = binary.AppendUvarint(b.data, uint64(len(ptr)))
+	b.data = append(b.data, ptr...)
+}
+
 // Delete records a key deletion.
 func (b *Batch) Delete(key []byte) {
 	b.setCount(b.Count() + 1)
@@ -120,7 +133,7 @@ func (b *Batch) IterateWithSeq(seq keys.Seq, fn func(seq keys.Seq, kind keys.Kin
 		}
 		p = np
 		var value []byte
-		if kind == keys.KindSet {
+		if kind == keys.KindSet || kind == keys.KindSetPtr {
 			value, np, err = readLenPrefixed(b.data, p)
 			if err != nil {
 				return fmt.Errorf("%w: op %d value: %v", ErrCorrupt, i, err)

@@ -84,6 +84,7 @@ type fdFlight struct {
 // compaction file instead of once per SSTable.
 type FDCache struct {
 	fs      vfs.FS                     //boltvet:guardedby none -- immutable after NewFDCache
+	name    func(uint64) string        //boltvet:guardedby none -- immutable after NewFDCache
 	lru     *sharded[uint64, *fdEntry] //boltvet:guardedby none -- immutable after NewFDCache; shards lock themselves
 	flights []fdFlight                 //boltvet:guardedby none -- immutable slice after NewFDCache; each flight locks itself
 }
@@ -92,7 +93,14 @@ type FDCache struct {
 // split across shards LRU shards (0 = auto-size to GOMAXPROCS, 1 =
 // single lock).
 func NewFDCache(fs vfs.FS, capacity, shards int) *FDCache {
-	c := &FDCache{fs: fs}
+	return NewFDCacheNamed(fs, capacity, shards, manifest.TableFileName)
+}
+
+// NewFDCacheNamed is NewFDCache with a custom file-number-to-name mapping,
+// so other append-only physical files — value-log segments — share the
+// same sharded, singleflight descriptor discipline.
+func NewFDCacheNamed(fs vfs.FS, capacity, shards int, name func(uint64) string) *FDCache {
+	c := &FDCache{fs: fs, name: name}
 	c.lru = newSharded[uint64, *fdEntry](shards, int64(capacity), mix64, func(_ uint64, e *fdEntry) {
 		e.release() // drop the cache's own reference
 	})
@@ -101,6 +109,18 @@ func NewFDCache(fs vfs.FS, capacity, shards int) *FDCache {
 		c.flights[i].inflight = make(map[uint64]*fdCall)
 	}
 	return c
+}
+
+// With runs fn with a referenced handle for file num, opening (and
+// caching) it on miss. The reference is held for the duration of fn only;
+// fn must not retain the file.
+func (c *FDCache) With(num uint64, fn func(vfs.File) error) error {
+	e, err := c.acquireEntry(num)
+	if err != nil {
+		return err
+	}
+	defer e.release()
+	return fn(e.file)
 }
 
 // Acquire returns a referenced handle for physical file physNum, opening
@@ -132,9 +152,9 @@ func (c *FDCache) acquireEntry(physNum uint64) (*fdEntry, error) {
 	fl.inflight[physNum] = call
 	fl.mu.Unlock()
 
-	f, err := c.fs.Open(manifest.TableFileName(physNum))
+	f, err := c.fs.Open(c.name(physNum))
 	if err != nil {
-		call.err = fmt.Errorf("cache: open table file %d: %w", physNum, err)
+		call.err = fmt.Errorf("cache: open file %d (%s): %w", physNum, c.name(physNum), err)
 		fl.mu.Lock()
 		delete(fl.inflight, physNum)
 		fl.mu.Unlock()

@@ -93,6 +93,11 @@ const (
 	// the table's still-checksummed blocks that deletes the corrupt table
 	// (clearing its quarantine).
 	ReasonSalvage = "salvage"
+	// ReasonValueGC is a value-log garbage-collection pass: live records in
+	// a mostly-dead segment are re-put through the write path, dead payload
+	// ranges are hole-punched, and the GC watermark advances. It touches no
+	// tables; the executor lives in internal/core.
+	ReasonValueGC = "value GC"
 )
 
 // Compaction describes one unit of background work chosen by the picker.
@@ -113,6 +118,10 @@ type Compaction struct {
 	CutPoints [][]byte
 	// Reason is a human-readable trigger description.
 	Reason string
+	// VLogSegment, nonzero only for ReasonValueGC, is the value-log segment
+	// being collected. The reservation claims it so two GC passes never run
+	// over the same segment concurrently.
+	VLogSegment uint64
 }
 
 // InputBytes returns the total bytes that will be read.
@@ -258,6 +267,40 @@ func (p *Picker) PickSalvage(v *manifest.Version, env Env) *Compaction {
 		}
 	}
 	return nil
+}
+
+// PickValueGC returns a value-GC compaction for the sealed segment whose
+// uncollected bytes are deadest, or nil when no segment crosses minRatio.
+// activeSeg (the segment the writer is appending to) is never picked: its
+// size is still growing and its records may be newer than any flushed
+// table. Segments in skip are passed over (the engine marks a segment
+// stuck when its GC cannot advance past a rotted record header — without
+// the skip it would hog every pick forever). The executor lives in
+// internal/core; like salvage, the Reason tag is how it recognizes the
+// pick. Value GC is scheduled independently of Pick — it competes for a
+// worker, not for table reservations.
+func (p *Picker) PickValueGC(v *manifest.Version, env Env, activeSeg uint64, minRatio float64, skip map[uint64]bool) *Compaction {
+	var best *Compaction
+	bestRatio := -1.0
+	for _, s := range v.VLogSegments() {
+		if s.Num == activeSeg || s.Size == 0 || s.GCOffset >= s.Size || skip[s.Num] {
+			continue
+		}
+		remaining := s.Size - s.GCOffset
+		ratio := float64(s.Garbage) / float64(remaining)
+		if ratio < minRatio && s.Garbage < remaining {
+			continue
+		}
+		if ratio <= bestRatio {
+			continue
+		}
+		c := &Compaction{Reason: ReasonValueGC, VLogSegment: s.Num}
+		if env.InFlight.Conflicts(c) {
+			continue
+		}
+		best, bestRatio = c, ratio
+	}
+	return best
 }
 
 // touchesQuarantined reports whether any table c consumes or promotes is

@@ -14,6 +14,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/metrics"
 	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
+	"github.com/bolt-lsm/bolt/internal/vlog"
 	"github.com/bolt-lsm/bolt/internal/wal"
 )
 
@@ -162,6 +163,19 @@ func (db *DB) maybeScheduleWorkLocked() {
 		db.goros.register("flushLoop")
 		//boltvet:goroutine flushActive -- cleared by flushLoop when the flush claim is returned; Close and WaitIdle drain on it
 		go db.flushLoop()
+	}
+	// Value GC runs on its own goroutine rather than a pool slot: a GC pass
+	// commits through the writer queue, and a write can stall on a full
+	// memtable until a flush runs — with MaxBackgroundCompactions=1 a pool
+	// slot waiting on that write would deadlock against the flush it blocks.
+	if !db.vlogGCActive {
+		if gc := db.pickValueGCLocked(); gc != nil {
+			r := db.inflight.Reserve(gc)
+			db.vlogGCActive = true
+			db.goros.register("vlogGCWorker")
+			//boltvet:goroutine vlogGCActive -- cleared by vlogGCWorker on exit; Close and WaitIdle drain on it
+			go db.vlogGCWorker(gc, r)
+		}
 	}
 	for db.compactWorkers < db.cfg.MaxBackgroundCompactions {
 		// In unified mode the pool also drains flushes. The flush claim is
@@ -331,6 +345,7 @@ func (db *DB) pickCompactionLocked() *compaction.Compaction {
 func (db *DB) flushLocked(worker int) error {
 	imm := db.imm
 	logNum := db.walNum // stable: imm != nil blocks further switches
+	vlogW := db.vlogW
 	db.met.MemtableFlushes.Add(1)
 	db.nextJobID++
 	job := db.nextJobID
@@ -339,7 +354,17 @@ func (db *DB) flushLocked(worker int) error {
 
 	db.mu.Unlock()
 	db.ev.Emit(events.Event{Type: events.TypeFlushStart, BytesIn: imm.ApproximateSize(), Job: job, Worker: worker})
-	metas, err := db.writeTables(imm.NewIter(), 0)
+	// The flush barrier covers the value log: every pointer in imm must be
+	// durable before the tables referencing it commit. Without SyncWAL the
+	// commit path never synced these appends; this is where they settle.
+	var err error
+	if vlogW != nil {
+		err = vlogW.Sync()
+	}
+	var metas []*manifest.FileMeta
+	if err == nil {
+		metas, err = db.writeTables(imm.NewIter(), 0)
+	}
 	db.mu.Lock()
 	if err != nil {
 		return fmt.Errorf("core: flush: %w", err)
@@ -350,9 +375,23 @@ func (db *DB) flushLocked(worker int) error {
 	for _, m := range metas {
 		edit.AddFile(0, m)
 	}
+	// Record the value log alongside the tables that reference it: sealed
+	// segments from rotations since the last flush, plus the active
+	// segment at its synced length (Size merges by max, so a later, longer
+	// record always wins).
+	pendingApplied := len(db.vlogPending)
+	for _, s := range db.vlogPending {
+		edit.AddVLogSegment(s)
+	}
+	if db.vlogW != nil {
+		edit.AddVLogSegment(manifest.VLogSegmentEdit{Num: db.vlogW.Seg(), Size: db.vlogW.SyncedSize()})
+	}
 	if err := db.logAndApplyLocked(edit); err != nil {
 		return fmt.Errorf("core: flush commit: %w", err)
 	}
+	// Rotations during logAndApply's unlock window appended behind the
+	// applied prefix; drop only what this edit recorded.
+	db.vlogPending = db.vlogPending[pendingApplied:]
 	var outBytes int64
 	for _, m := range metas {
 		db.physRefs[m.PhysNum]++
@@ -362,13 +401,18 @@ func (db *DB) flushLocked(worker int) error {
 	db.met.LevelCompactionsIn[0].Add(1)
 	db.met.LevelBytesWritten[0].Add(outBytes)
 	db.imm = nil
+	// The memtable-absence liveness rule (see filterGCBatchLocked) expires
+	// whenever a memtable retires.
+	db.flushEpoch++
 
 	logs := db.obsoleteLogs
 	db.obsoleteLogs = nil
+	punches := db.takeReadyVLogPunchesLocked()
 	db.mu.Unlock()
 	for _, num := range logs {
 		_ = db.fs.Remove(manifest.LogFileName(num))
 	}
+	db.execVLogPunches(punches)
 	db.ev.Emit(events.Event{
 		Type:     events.TypeFlushEnd,
 		Outputs:  len(metas),
@@ -397,6 +441,17 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	v.Ref() // pin input tables for the duration
 	smallestSnap := db.smallestSnapshotLocked()
 	dropTombstones := db.canDropTombstonesLocked(v, c)
+	// Garbage accounting: a dropped pointer entry is value-log garbage,
+	// but only if it lands past the segment's GC watermark — below it the
+	// bytes are already reclaimed and counting them again would inflate
+	// the ratio. Snapshot the watermarks from the pinned version.
+	var gcOffsets map[uint64]int64
+	if segs := v.VLogSegments(); len(segs) > 0 {
+		gcOffsets = make(map[uint64]int64, len(segs))
+		for _, s := range segs {
+			gcOffsets[s.Num] = s.GCOffset
+		}
+	}
 	start := time.Now()
 	fsyncsBefore := db.io.Fsyncs.Load()
 	var levelBytes, nextBytes int64
@@ -409,6 +464,7 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 
 	var (
 		metas   []*manifest.FileMeta
+		garbage map[uint64]int64
 		skipped int
 		err     error
 	)
@@ -428,7 +484,7 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 	case salvage:
 		metas, skipped, err = db.writeSalvageTables(c)
 	case len(c.Inputs)+len(c.NextInputs) > 0:
-		metas, err = db.writeCompactionTables(c, smallestSnap, dropTombstones)
+		metas, garbage, err = db.writeCompactionTables(c, smallestSnap, dropTombstones, gcOffsets)
 	}
 	db.mu.Lock()
 	v.Unref()
@@ -457,6 +513,13 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 			Level: c.Level,
 			Key:   last.Largest,
 		})
+	}
+	for seg, g := range garbage {
+		// Skip segments a concurrent GC pass already deleted; an upsert
+		// here would resurrect them as ghosts.
+		if _, ok := db.vs.Current().VLogSegment(seg); ok {
+			edit.AddVLogSegment(manifest.VLogSegmentEdit{Num: seg, GarbageDelta: g})
+		}
 	}
 
 	if err := db.logAndApplyLocked(edit); err != nil {
@@ -526,8 +589,11 @@ func (db *DB) compactLocked(c *compaction.Compaction, worker int) error {
 }
 
 // writeCompactionTables merges the compaction inputs into output tables,
-// applying the snapshot-aware drop rules. Called without mu.
-func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.Seq, dropTombstones bool) ([]*manifest.FileMeta, error) {
+// applying the snapshot-aware drop rules. Pointer entries pass through
+// unmodified — the whole point of separation is that compactions never
+// touch value bytes — but dropped ones are tallied as garbage against
+// their segment (past its GC watermark, per gcOffsets). Called without mu.
+func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.Seq, dropTombstones bool, gcOffsets map[uint64]int64) ([]*manifest.FileMeta, map[uint64]int64, error) {
 	iters := make([]iterator.Iterator, 0, len(c.Inputs)+len(c.NextInputs))
 	openIter := func(f *manifest.FileMeta) error {
 		r, release, err := db.tableCache.Get(f)
@@ -543,19 +609,20 @@ func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.
 	for _, f := range c.Inputs {
 		if err := openIter(f); err != nil {
 			closeAll(iters)
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, f := range c.NextInputs {
 		if err := openIter(f); err != nil {
 			closeAll(iters)
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	merged := iterator.NewMerging(iters...)
 	defer merged.Close()
 
 	out := db.newTableOutput(c.OutputLevel, c.CutPoints)
+	var garbage map[uint64]int64
 	var lastUser []byte
 	lastSeqForKey := keys.MaxSeq
 	haveUser := false
@@ -577,18 +644,29 @@ func (db *DB) writeCompactionTables(c *compaction.Compaction, smallestSnap keys.
 		}
 		lastSeqForKey = ikey.Seq()
 		if drop {
+			if ikey.Kind() == keys.KindSetPtr && gcOffsets != nil {
+				if p, perr := vlog.DecodePointer(merged.Value()); perr == nil {
+					if gcOff, ok := gcOffsets[p.Seg]; ok && p.Off >= gcOff {
+						if garbage == nil {
+							garbage = make(map[uint64]int64)
+						}
+						garbage[p.Seg] += p.Len
+					}
+				}
+			}
 			continue
 		}
 		if err := out.add(ikey, merged.Value()); err != nil {
 			out.abort()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := merged.Err(); err != nil {
 		out.abort()
-		return nil, err
+		return nil, nil, err
 	}
-	return out.finish()
+	metas, err := out.finish()
+	return metas, garbage, err
 }
 
 // writeSalvageTables rewrites the still-checksummed blocks of a quarantined
@@ -794,6 +872,8 @@ func compactionReasonBucket(reason string) metrics.CompactionReason {
 		return metrics.CompactionManual
 	case compaction.ReasonSalvage:
 		return metrics.CompactionSalvage
+	case compaction.ReasonValueGC:
+		return metrics.CompactionValueGC
 	default:
 		return metrics.CompactionSize
 	}

@@ -106,6 +106,26 @@ type Config struct {
 	// with a warning event.
 	CacheShards int
 
+	// --- Key-value separation ---
+
+	// ValueThreshold enables WAL-time key-value separation: a Put whose
+	// value is at least this many bytes has the value appended to the value
+	// log during commit (before the WAL write, inside the same barrier
+	// window) and a pointer entry written to the tree in its place.
+	// Compactions then move pointers, not payloads. Zero (the default)
+	// disables separation entirely.
+	ValueThreshold int
+	// VLogSegmentBytes rotates the active value-log segment once it grows
+	// past this size (default 16 MB). Sealed segments are GC candidates.
+	VLogSegmentBytes int64
+	// VLogGCGarbageRatio is the dead-byte fraction (of a sealed segment's
+	// uncollected tail) at which value GC picks it (default 0.5).
+	VLogGCGarbageRatio float64
+	// VLogGCChunkBytes is how many segment bytes one GC pass scans before
+	// committing its progress (default 4 MB); smaller chunks bound the
+	// re-put batch and the crash-redo window.
+	VLogGCChunkBytes int64
+
 	// --- Durability ---
 
 	// SyncWAL syncs the log on every commit. The paper (like the YCSB
@@ -224,6 +244,15 @@ func (c *Config) ApplyDefaults() {
 	if c.EventLogSize <= 0 {
 		c.EventLogSize = 512
 	}
+	if c.VLogSegmentBytes <= 0 {
+		c.VLogSegmentBytes = 16 << 20
+	}
+	if c.VLogGCGarbageRatio <= 0 {
+		c.VLogGCGarbageRatio = 0.5
+	}
+	if c.VLogGCChunkBytes <= 0 {
+		c.VLogGCChunkBytes = 4 << 20
+	}
 }
 
 // clampWarnings describes the invalid (negative) cache-sizing knobs that
@@ -267,8 +296,17 @@ func (c *Config) Validate() error {
 	if c.ScrubInterval < 0 {
 		return errors.New("core: negative scrub interval")
 	}
+	if c.ValueThreshold < 0 {
+		return errors.New("core: negative value threshold")
+	}
+	if c.VLogGCGarbageRatio > 1 {
+		return fmt.Errorf("core: value-GC garbage ratio %v above 1", c.VLogGCGarbageRatio)
+	}
 	return nil
 }
+
+// valueSeparation reports whether the value log is in use for new writes.
+func (c *Config) valueSeparation() bool { return c.ValueThreshold > 0 }
 
 // outputTableBytes returns the cut size for output tables.
 func (c *Config) outputTableBytes() int64 {

@@ -18,6 +18,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/metrics"
 	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
+	"github.com/bolt-lsm/bolt/internal/vlog"
 	"github.com/bolt-lsm/bolt/internal/wal"
 )
 
@@ -45,6 +46,12 @@ type DB struct {
 	tableCache *cache.TableCache  //boltvet:guardedby none -- immutable after Open; cache locks itself
 	picker     *compaction.Picker //boltvet:guardedby none -- immutable after Open; stateless picker
 
+	// vlogFDs and vlogReader are always constructed — even with separation
+	// off — so reads can dereference pointers written by an earlier
+	// configuration.
+	vlogFDs    *cache.FDCache //boltvet:guardedby none -- immutable after Open; cache locks itself
+	vlogReader *vlog.Reader   //boltvet:guardedby none -- immutable after Open; reader is stateless over vlogFDs
+
 	// scrubStop ends the background scrubber: closed once by Close (under
 	// mu, which serializes against double close), selected on by the scrub
 	// goroutine without mu. Nil when the scrubber is disabled.
@@ -59,6 +66,29 @@ type DB struct {
 	walW   *wal.Writer          //boltvet:guardedby mu
 	walNum uint64               //boltvet:guardedby mu
 	vs     *manifest.VersionSet //boltvet:guardedby mu
+
+	// Value log (WAL-time key-value separation). vlogW exists only while
+	// valueSeparation() is on and points at the active segment. The leader
+	// captures vlogW under mu and appends off-mu, exactly like walW; the
+	// writer locks itself so flush-time Syncs may race leader appends.
+	vlogW   *vlog.Writer //boltvet:guardedby mu
+	vlogNum uint64       //boltvet:guardedby mu -- segment number behind vlogW
+	// vlogPending accumulates edits for sealed segments (rotations) not yet
+	// recorded in the MANIFEST; the next flush folds them into its edit.
+	vlogPending []manifest.VLogSegmentEdit //boltvet:guardedby mu
+	// vlogGCActive claims the single value-GC worker; vlogGCStuck suppresses
+	// segments whose GC cannot advance (rotted record header mid-segment).
+	vlogGCActive bool            //boltvet:guardedby mu
+	vlogGCStuck  map[uint64]bool //boltvet:guardedby mu
+	// flushEpoch counts memtable retirements (imm cleared by a flush); the
+	// GC commit filter uses it to detect whether "key absent from both
+	// memtables" can have changed meaning since its scan.
+	flushEpoch uint64 //boltvet:guardedby mu
+	// iterPins records the snapshot sequence of every open iterator, and
+	// vlogPunchQueue holds value-log hole punches deferred until no pinned
+	// reader (snapshot, iterator) predates the GC commit that killed them.
+	iterPins       *list.List  //boltvet:guardedby mu -- of keys.Seq, unordered
+	vlogPunchQueue []vlogPunch //boltvet:guardedby mu
 
 	// visibleSeq is the highest sequence number visible to reads; it is
 	// atomic so the read path can snapshot it without mu.
@@ -145,10 +175,12 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		ev:                events.NewLog(cfg.EventLogSize, cfg.EventListener),
 		mem:               memtable.New(),
 		snapshots:         list.New(),
+		iterPins:          list.New(),
 		physRefs:          make(map[uint64]int),
 		deadRanges:        make(map[uint64][]deadRange),
 		inflight:          compaction.NewInFlight(),
 		quarantinePending: make(map[uint64]bool),
+		vlogGCStuck:       make(map[uint64]bool),
 	}
 	db.workerSlots = make([]bool, cfg.MaxBackgroundCompactions)
 	db.cond = sync.NewCond(&db.mu)
@@ -163,6 +195,11 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 		db.fdCache = cache.NewFDCache(db.fs, cfg.TableCacheEntries, cfg.CacheShards)
 	}
 	db.tableCache = cache.NewTableCache(db.fs, cfg.TableCacheEntries, cfg.CacheShards, db.fdCache, db.blockCache, db.sstConfig())
+	// The value-log FD cache and reader exist regardless of ValueThreshold:
+	// a database written with separation on must stay readable after the
+	// threshold is turned off.
+	db.vlogFDs = cache.NewFDCacheNamed(db.fs, cfg.TableCacheEntries, cfg.CacheShards, manifest.VLogFileName)
+	db.vlogReader = vlog.NewReader(db.vlogFDs)
 	db.picker = &compaction.Picker{Opts: compaction.Options{
 		L0Trigger:         cfg.L0CompactionTrigger,
 		L1MaxBytes:        cfg.L1MaxBytes,
@@ -176,10 +213,14 @@ func Open(fs vfs.FS, cfg Config) (*DB, error) {
 	}}
 
 	if err := db.recover(); err != nil {
+		if db.vlogW != nil {
+			_ = db.vlogW.Close()
+		}
 		db.tableCache.Close()
 		if db.fdCache != nil {
 			db.fdCache.Close()
 		}
+		db.vlogFDs.Close()
 		return nil, err
 	}
 
@@ -238,6 +279,39 @@ func (db *DB) recover() error {
 		return err
 	}
 
+	// Value-log segments on disk: mark their numbers used and index them
+	// for pointer validation during WAL replay.
+	vlogOnDisk := make(map[uint64]bool)
+	for _, n := range names {
+		if kind, num, ok := manifest.ParseFileName(n); ok && kind == manifest.KindValueLog {
+			vlogOnDisk[num] = true
+			db.vs.MarkFileNumUsed(num)
+		}
+	}
+	// validLenOf walks a segment's record framing from offset zero
+	// (tolerating GC-punched payloads, whose headers survive) and caches
+	// the length of its parseable prefix. The commit barrier syncs the
+	// value log before the WAL record, so a WAL batch whose pointers all
+	// land inside this prefix was fully durable when acknowledged, and a
+	// pointer past it belongs to a write that was never acknowledged.
+	vlogValid := make(map[uint64]int64)
+	validLenOf := func(seg uint64) int64 {
+		if v, ok := vlogValid[seg]; ok {
+			return v
+		}
+		var valid int64
+		if vlogOnDisk[seg] {
+			if f, ferr := db.fs.Open(manifest.VLogFileName(seg)); ferr == nil {
+				if size, serr := f.Size(); serr == nil {
+					valid = vlog.ValidLength(f, 0, size)
+				}
+				_ = f.Close()
+			}
+		}
+		vlogValid[seg] = valid
+		return valid
+	}
+
 	// Replay WALs at or above the recorded log number, in order.
 	var logNums []uint64
 	for _, n := range names {
@@ -248,17 +322,51 @@ func (db *DB) recover() error {
 	sort.Slice(logNums, func(i, j int) bool { return logNums[i] < logNums[j] })
 	maxSeq := db.vs.LastSeq()
 	replayed := memtable.New()
+	refSegs := make(map[uint64]bool)
+	errStopReplay := errors.New("core: stop wal replay")
+	stopped := false
 	for _, num := range logNums {
+		if stopped {
+			break
+		}
 		db.vs.MarkFileNumUsed(num)
 		last, err := wal.Replay(db.fs, manifest.LogFileName(num), func(b *batch.Batch) error {
+			// Pre-validate, then apply: a batch lands in the memtable either
+			// whole or not at all. An unresolvable pointer stops replay here,
+			// dropping this batch and everything after it — all provably
+			// unacknowledged (see validLenOf).
+			resolvable := true
+			if err := b.Iterate(func(_ keys.Seq, kind keys.Kind, _, value []byte) error {
+				if kind == keys.KindSetPtr && resolvable {
+					p, perr := vlog.DecodePointer(value)
+					if perr != nil || p.Off+p.Len > validLenOf(p.Seg) {
+						resolvable = false
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if !resolvable {
+				stopped = true
+				return errStopReplay
+			}
 			return b.Iterate(func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
+				if kind == keys.KindSetPtr {
+					if p, perr := vlog.DecodePointer(value); perr == nil {
+						refSegs[p.Seg] = true
+					}
+				}
 				replayed.Add(seq, kind, key, value)
 				return nil
 			})
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, errStopReplay) {
 			return fmt.Errorf("core: replay wal %d: %w", num, err)
 		}
+		// When replay stopped, last covers only the batches before the
+		// unresolvable one — wal.Replay tallies a batch's sequences after
+		// the callback succeeds — which is exactly the applied set.
 		if last > maxSeq {
 			maxSeq = last
 		}
@@ -273,11 +381,28 @@ func (db *DB) recover() error {
 		return err
 	}
 
+	// Fresh active value-log segment when separation is on. Allocated
+	// before the recovery LogAndApply so the number is burned durably and
+	// can never collide after another crash.
+	if db.cfg.valueSeparation() {
+		db.vlogNum = db.vs.NextFileNum()
+		db.vlogW, err = vlog.NewWriter(db.fs, manifest.VLogFileName(db.vlogNum), db.vlogNum)
+		if err != nil {
+			return err
+		}
+	}
+
 	// Persist replayed data (if any) and advance the log pointer so old
 	// WALs become obsolete; this also covers the fresh-DB case where it
-	// just records the first log number.
+	// just records the first log number. Segments referenced by replayed
+	// pointers enter the version here with their walked valid length —
+	// possibly longer than the size a pre-crash flush recorded (Size
+	// merges by max), never shorter.
 	edit := &manifest.VersionEdit{}
 	edit.SetLogNum(db.walNum)
+	for seg := range refSegs {
+		edit.AddVLogSegment(manifest.VLogSegmentEdit{Num: seg, Size: validLenOf(seg)})
+	}
 	if !replayed.Empty() {
 		metas, err := db.writeTables(replayed.NewIter(), 0)
 		if err != nil {
@@ -325,6 +450,13 @@ func (db *DB) removeOrphans() {
 			}
 		case manifest.KindLog:
 			if num < db.vs.LogNum() {
+				_ = db.fs.Remove(n)
+			}
+		case manifest.KindValueLog:
+			// Live segments are in the version (flushes record the active
+			// segment and every sealed one); the only referenced segment
+			// possibly absent is the freshly created active one.
+			if _, ok := db.vs.Current().VLogSegment(num); !ok && num != db.vlogNum {
 				_ = db.fs.Remove(n)
 			}
 		case manifest.KindTemp:
@@ -409,14 +541,18 @@ func (db *DB) NewSnapshot() *Snapshot {
 	return s
 }
 
-// Release unpins the snapshot.
+// Release unpins the snapshot. Dropping the oldest pin may make deferred
+// value-log punches safe, so the queue is drained on the way out.
 func (s *Snapshot) Release() {
-	s.db.mu.Lock()
-	defer s.db.mu.Unlock()
+	db := s.db
+	db.mu.Lock()
 	if s.elem != nil {
-		s.db.snapshots.Remove(s.elem)
+		db.snapshots.Remove(s.elem)
 		s.elem = nil
 	}
+	todo := db.takeReadyVLogPunchesLocked()
+	db.mu.Unlock()
+	db.execVLogPunches(todo)
 }
 
 // smallestSnapshotLocked returns the oldest sequence number any reader may
@@ -431,6 +567,20 @@ func (db *DB) smallestSnapshotLocked() keys.Seq {
 // Get returns the value of key at the given snapshot (nil = latest).
 func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 	db.met.Gets.Add(1)
+	value, err := db.get(key, snap)
+	if err != nil && snap == nil &&
+		(errors.Is(err, vlog.ErrCorrupt) || errors.Is(err, vfs.ErrNotFound)) {
+		// A latest-seq Get holds no pin, so value GC may punch a record
+		// (ErrCorrupt) or unlink a fully collected segment (ErrNotFound)
+		// between this read resolving its pointer and dereferencing it —
+		// but only if a newer version of the key exists. One retry
+		// observes that newer version; a second failure is real rot.
+		value, err = db.get(key, snap)
+	}
+	return value, err
+}
+
+func (db *DB) get(key []byte, snap *Snapshot) ([]byte, error) {
 	seq := db.VisibleSeq()
 	if snap != nil {
 		seq = snap.seq
@@ -449,30 +599,59 @@ func (db *DB) Get(key []byte, snap *Snapshot) ([]byte, error) {
 	// One seek key serves the memtables and every table probe below.
 	ikey := keys.MakeInternalKey(nil, key, seq, keys.KindSeekMax)
 	if value, kind, found := mem.GetSeek(ikey); found {
-		if kind == keys.KindDelete {
-			return nil, ErrNotFound
-		}
-		db.met.GetHits.Add(1)
-		return append([]byte(nil), value...), nil
+		return db.getResolve(value, kind)
 	}
 	if imm != nil {
 		if value, kind, found := imm.GetSeek(ikey); found {
-			if kind == keys.KindDelete {
-				return nil, ErrNotFound
-			}
-			db.met.GetHits.Add(1)
-			return append([]byte(nil), value...), nil
+			return db.getResolve(value, kind)
 		}
 	}
-	value, found, err := db.searchTables(v, ikey)
+	value, kind, found, err := db.searchTables(v, ikey)
 	if err != nil {
 		return nil, err
 	}
 	if !found {
 		return nil, ErrNotFound
 	}
+	if kind == keys.KindDelete {
+		return nil, ErrNotFound
+	}
+	if kind == keys.KindSetPtr {
+		value, err = db.vlogGet(value)
+		if err != nil {
+			return nil, err
+		}
+	}
 	db.met.GetHits.Add(1)
 	return value, nil
+}
+
+// getResolve turns a raw memtable hit into a Get result: tombstones miss,
+// pointers dereference through the value log, plain values copy out.
+func (db *DB) getResolve(value []byte, kind keys.Kind) ([]byte, error) {
+	switch kind {
+	case keys.KindDelete:
+		return nil, ErrNotFound
+	case keys.KindSetPtr:
+		value, err := db.vlogGet(value)
+		if err != nil {
+			return nil, err
+		}
+		db.met.GetHits.Add(1)
+		return value, nil
+	}
+	db.met.GetHits.Add(1)
+	return append([]byte(nil), value...), nil
+}
+
+// vlogGet dereferences an encoded value-log pointer.
+func (db *DB) vlogGet(ptr []byte) ([]byte, error) {
+	p, err := vlog.DecodePointer(ptr)
+	if err != nil {
+		return nil, err
+	}
+	db.met.VLogDerefs.Add(1)
+	return db.vlogReader.Get(p)
 }
 
 // tableSearch carries one key lookup across the table levels. It is a
@@ -517,12 +696,9 @@ func (s *tableSearch) consult(level int, f *manifest.FileMeta) ([]byte, keys.Seq
 	return value, entrySeq, kind, found, err
 }
 
-func (s *tableSearch) finish(value []byte, kind keys.Kind) ([]byte, bool, error) {
+func (s *tableSearch) finish(value []byte, kind keys.Kind) ([]byte, keys.Kind, bool, error) {
 	s.db.maybeChargeSeek(s.firstConsulted, s.firstConsultedLevel, s.consulted)
-	if kind == keys.KindDelete {
-		return nil, false, nil
-	}
-	return value, true, nil
+	return value, kind, true, nil
 }
 
 // consultOverlapping searches every table in files whose range covers
@@ -548,12 +724,14 @@ func (s *tableSearch) consultOverlapping(level int, files []*manifest.FileMeta) 
 	return value, kind, found, nil
 }
 
-// searchTables looks ikey's user key up in the table levels of v.
-func (db *DB) searchTables(v *manifest.Version, ikey keys.InternalKey) ([]byte, bool, error) {
+// searchTables looks ikey's user key up in the table levels of v,
+// returning the newest visible entry raw: tombstones and value-log
+// pointers come back with their kind for the caller to interpret.
+func (db *DB) searchTables(v *manifest.Version, ikey keys.InternalKey) ([]byte, keys.Kind, bool, error) {
 	s := tableSearch{db: db, v: v, ikey: ikey, key: ikey.UserKey()}
 
 	if value, kind, found, err := s.consultOverlapping(0, v.Levels[0]); err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	} else if found {
 		return s.finish(value, kind)
 	}
@@ -565,7 +743,7 @@ func (db *DB) searchTables(v *manifest.Version, ikey keys.InternalKey) ([]byte, 
 		if db.cfg.Fragmented {
 			value, kind, found, err := s.consultOverlapping(level, files)
 			if err != nil {
-				return nil, false, err
+				return nil, 0, false, err
 			}
 			if found {
 				return s.finish(value, kind)
@@ -581,14 +759,14 @@ func (db *DB) searchTables(v *manifest.Version, ikey keys.InternalKey) ([]byte, 
 		}
 		value, _, kind, found, err := s.consult(level, files[idx])
 		if err != nil {
-			return nil, false, err
+			return nil, 0, false, err
 		}
 		if found {
 			return s.finish(value, kind)
 		}
 	}
 	db.maybeChargeSeek(s.firstConsulted, s.firstConsultedLevel, s.consulted)
-	return nil, false, nil
+	return nil, 0, false, nil
 }
 
 // maybeChargeSeek implements LevelDB's seek-compaction accounting: when a
@@ -633,7 +811,7 @@ func (db *DB) Close() error {
 	// drains itself through the normal leader chain. scrubActive keeps the
 	// version set alive until the scrubber (which pins versions) exits.
 	for db.flushActive || db.compactWorkers > 0 || db.manualActive ||
-		db.leaderActive || len(db.writers) > 0 || db.scrubActive {
+		db.leaderActive || len(db.writers) > 0 || db.scrubActive || db.vlogGCActive {
 		db.cond.Wait()
 	}
 	// Under boltinvariants: every tracked goroutine deregisters before it
@@ -641,7 +819,11 @@ func (db *DB) Close() error {
 	// completed drain implies an empty registry — a survivor here is a
 	// leaked goroutine the trackers lost sight of.
 	db.goros.assertDrained()
+	// Every reader is gone, so deferred value-log punches are all safe now.
+	punches := db.vlogPunchQueue
+	db.vlogPunchQueue = nil
 	db.mu.Unlock()
+	db.execVLogPunches(punches)
 
 	var firstErr error
 	//boltvet:ignore-begin guardedby -- post-drain teardown: closed is set and every background path has unwound, so this goroutine is the last one standing
@@ -653,6 +835,11 @@ func (db *DB) Close() error {
 	if err := db.walW.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	if db.vlogW != nil {
+		if err := db.vlogW.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if err := db.vs.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -661,6 +848,7 @@ func (db *DB) Close() error {
 	if db.fdCache != nil {
 		db.fdCache.Close()
 	}
+	db.vlogFDs.Close()
 	return firstErr
 }
 
@@ -672,7 +860,7 @@ func (db *DB) Close() error {
 func (db *DB) WaitIdle() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for (db.flushActive || db.compactWorkers > 0 || db.manualActive || db.imm != nil) && !db.bgStoppedLocked() {
+	for (db.flushActive || db.compactWorkers > 0 || db.manualActive || db.imm != nil || db.vlogGCActive) && !db.bgStoppedLocked() {
 		db.cond.Wait()
 	}
 	if db.closed {

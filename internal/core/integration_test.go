@@ -40,9 +40,19 @@ func profilesUnderTest() map[string]Config {
 	lvl := testConfig()
 	lvl.SeekCompaction = true
 
+	// BoLT with WAL-time key-value separation: a threshold below the
+	// golden workload's value size so most values ride the value log,
+	// tiny segments so rotation churns, and a low garbage ratio so
+	// background value GC fires mid-workload.
+	boltVLog := boltTestConfig()
+	boltVLog.ValueThreshold = 20
+	boltVLog.VLogSegmentBytes = 4 << 10
+	boltVLog.VLogGCGarbageRatio = 0.3
+
 	return map[string]Config{
 		"leveldb":   lvl,
 		"bolt":      boltTestConfig(),
+		"boltvlog":  boltVLog,
 		"hyper":     hyper,
 		"rocks":     rocks,
 		"pebbles":   pebbles,
@@ -124,7 +134,7 @@ func TestGoldenModelAllProfiles(t *testing.T) {
 
 // TestGoldenModelWithReopen interleaves random reopen cycles.
 func TestGoldenModelWithReopen(t *testing.T) {
-	for _, name := range []string{"leveldb", "bolt", "pebbles"} {
+	for _, name := range []string{"leveldb", "bolt", "boltvlog", "pebbles"} {
 		t.Run(name, func(t *testing.T) {
 			cfg := profilesUnderTest()[name]
 			fs := vfs.NewMem()
@@ -169,7 +179,7 @@ func TestGoldenModelWithReopen(t *testing.T) {
 // acknowledged with a synced WAL, and (b) opens cleanly with intact
 // invariants.
 func TestCrashRecoveryNeverLosesSyncedWrites(t *testing.T) {
-	for _, name := range []string{"leveldb", "bolt"} {
+	for _, name := range []string{"leveldb", "bolt", "boltvlog"} {
 		t.Run(name, func(t *testing.T) {
 			cfg := profilesUnderTest()[name]
 			cfg.SyncWAL = true // acknowledged == durable
@@ -285,7 +295,7 @@ func TestUnsyncedWALDataLostOnCrash(t *testing.T) {
 
 // TestConcurrentReadersWritersScanners stresses the engine under -race.
 func TestConcurrentReadersWritersScanners(t *testing.T) {
-	for _, name := range []string{"leveldb", "bolt", "hyper", "pebbles"} {
+	for _, name := range []string{"leveldb", "bolt", "boltvlog", "hyper", "pebbles"} {
 		t.Run(name, func(t *testing.T) {
 			cfg := profilesUnderTest()[name]
 			db := openTestDB(t, vfs.NewMem(), cfg)

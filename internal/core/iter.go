@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"sort"
 
 	"github.com/bolt-lsm/bolt/internal/iterator"
@@ -159,6 +160,7 @@ type DBIter struct {
 	db     *DB
 	seq    keys.Seq
 	v      *manifest.Version // pinned until Close
+	pin    *list.Element     // entry in db.iterPins; holds back value-log punches
 	merged *iterator.Merging
 
 	key     []byte
@@ -179,6 +181,9 @@ func (db *DB) NewIter(snap *Snapshot) *DBIter {
 	mem, imm := db.mem, db.imm
 	v := db.vs.Current()
 	v.Ref()
+	// Pin seq for value GC: punches of records this iterator might still
+	// dereference are deferred until Close removes the pin.
+	pin := db.iterPins.PushBack(seq)
 	db.mu.Unlock()
 
 	sources := []iterator.Iterator{mem.NewIter()}
@@ -213,7 +218,7 @@ func (db *DB) NewIter(snap *Snapshot) *DBIter {
 			sources = append(sources, db.newLevelIter(v, level, files))
 		}
 	}
-	return &DBIter{db: db, seq: seq, v: v, merged: iterator.NewMerging(sources...)}
+	return &DBIter{db: db, seq: seq, v: v, pin: pin, merged: iterator.NewMerging(sources...)}
 }
 
 // findVisible scans forward from the merged iterator's current position to
@@ -238,7 +243,16 @@ func (it *DBIter) findVisible() bool {
 			continue
 		}
 		it.key = append(it.key[:0], uk...)
-		it.value = append(it.value[:0], it.merged.Value()...)
+		if ikey.Kind() == keys.KindSetPtr {
+			value, err := it.db.vlogGet(it.merged.Value())
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.value = append(it.value[:0], value...)
+		} else {
+			it.value = append(it.value[:0], it.merged.Value()...)
+		}
 		it.valid = true
 		return true
 	}
@@ -281,14 +295,22 @@ func (it *DBIter) Value() []byte { return it.value }
 // Err returns the first error encountered.
 func (it *DBIter) Err() error { return it.err }
 
-// Close releases the iterator's table references and version pin.
+// Close releases the iterator's table references, version pin, and
+// value-GC pin; punches the pin was holding back run before returning.
 func (it *DBIter) Close() error {
 	if it.merged == nil {
 		return nil
 	}
 	err := it.merged.Close()
 	it.merged = nil
-	it.v.Unref()
 	it.valid = false
+	db := it.db
+	db.mu.Lock()
+	it.v.Unref()
+	db.iterPins.Remove(it.pin)
+	it.pin = nil
+	todo := db.takeReadyVLogPunchesLocked()
+	db.mu.Unlock()
+	db.execVLogPunches(todo)
 	return err
 }

@@ -9,6 +9,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/sstable"
 	"github.com/bolt-lsm/bolt/internal/vfs"
+	"github.com/bolt-lsm/bolt/internal/vlog"
 )
 
 // RepairReport summarizes what Repair salvaged.
@@ -22,6 +23,9 @@ type RepairReport struct {
 	FilesScanned int
 	// Entries is the total entry count across salvaged tables.
 	Entries int
+	// VLogSegments is the number of value-log segments re-registered
+	// (their valid CRC-walked prefix) in the rebuilt MANIFEST.
+	VLogSegments int
 	// MaxSeq is the highest sequence number observed.
 	MaxSeq keys.Seq
 }
@@ -57,6 +61,7 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 	var tables []salvaged
 	var maxPhys uint64
 	var salvagedFiles []string
+	var vlogSegs []manifest.VLogSegmentEdit
 
 	for _, name := range names {
 		kind, num, ok := manifest.ParseFileName(name)
@@ -67,6 +72,20 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 		case manifest.KindManifest, manifest.KindCurrent, manifest.KindTemp:
 			// Stale or damaged metadata: remove; a fresh MANIFEST follows.
 			_ = fs.Remove(name)
+			continue
+		case manifest.KindValueLog:
+			// Re-register the segment's CRC-valid prefix so salvaged
+			// pointer entries resolve again. The GC watermark restarts at
+			// zero: collecting already-dead ranges again is wasted work at
+			// worst, never wrong.
+			if num > maxPhys {
+				maxPhys = num
+			}
+			report.FilesScanned++
+			if valid := vlogValidLength(fs, name); valid > 0 {
+				vlogSegs = append(vlogSegs, manifest.VLogSegmentEdit{Num: num, Size: valid})
+				salvagedFiles = append(salvagedFiles, name)
+			}
 			continue
 		case manifest.KindTable:
 		default:
@@ -122,6 +141,10 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 		nextNum++
 		edit.AddFile(0, t.meta)
 	}
+	for _, s := range vlogSegs {
+		edit.AddVLogSegment(s)
+	}
+	report.VLogSegments = len(vlogSegs)
 
 	vs, err := manifest.Create(fs)
 	if err != nil {
@@ -136,6 +159,22 @@ func Repair(fs vfs.FS, cfg Config) (*RepairReport, error) {
 		return nil, fmt.Errorf("core: repair commit: %w", err)
 	}
 	return report, nil
+}
+
+// vlogValidLength returns the CRC-walked valid prefix of a value-log
+// segment (0 if unreadable). Hole-punched payloads are traversed; a torn
+// or rotted header stops the walk.
+func vlogValidLength(fs vfs.FS, name string) int64 {
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return 0
+	}
+	return vlog.ValidLength(f, 0, size)
 }
 
 type salvagedTable struct {

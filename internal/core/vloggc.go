@@ -1,0 +1,469 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/bolt-lsm/bolt/internal/batch"
+	"github.com/bolt-lsm/bolt/internal/compaction"
+	"github.com/bolt-lsm/bolt/internal/events"
+	"github.com/bolt-lsm/bolt/internal/keys"
+	"github.com/bolt-lsm/bolt/internal/manifest"
+	"github.com/bolt-lsm/bolt/internal/metrics"
+	"github.com/bolt-lsm/bolt/internal/vfs"
+	"github.com/bolt-lsm/bolt/internal/vlog"
+)
+
+// Value-log garbage collection.
+//
+// A GC pass scans one chunk of a sealed segment, liveness-checks every
+// record against the tree, re-puts the live ones through the normal write
+// path (so they land in the active segment with full commit durability),
+// advances the segment's GC watermark in the MANIFEST, and hole-punches
+// the scanned payload ranges. Three ordering rules keep it safe:
+//
+//  1. Liveness is decided twice: once at scan time through the full read
+//     path, and again under mu at commit time (filterGCBatchLocked), so a
+//     user overwrite that lands between the two can never be shadowed by
+//     a re-put carrying a newer sequence number.
+//  2. The re-put commit forces the value-log and WAL syncs regardless of
+//     SyncWAL: the punch that follows destroys the only other copy.
+//  3. Punching is gated on readers. safeSeq is the visible sequence
+//     captured after the re-put commit; any reader at or past it resolves
+//     the re-put (or something newer), never the dead record. Punches
+//     wait in vlogPunchQueue until no snapshot or open iterator predates
+//     safeSeq. The one reader class that holds no pin — a latest-seq Get
+//     already in flight — is covered by Get's single retry on ErrCorrupt.
+
+// vlogPunch is one deferred reclamation: payload ranges (or the whole
+// file) of a collected segment chunk, executable once no pinned reader
+// predates safeSeq.
+type vlogPunch struct {
+	seg        uint64
+	ranges     []deadRange
+	removeFile bool // segment fully collected: unlink instead of punching
+	safeSeq    keys.Seq
+}
+
+// gcEntry is one record the GC pass found live at scan time.
+type gcEntry struct {
+	key, value []byte
+	expect     vlog.Pointer // the record's own address; "still newest" check
+}
+
+// gcCommit rides a dbWriter through the writer queue (see write.go).
+type gcCommit struct {
+	entries []gcEntry
+	epoch   uint64 // db.flushEpoch at scan time
+	// aborted is set by filterGCBatchLocked when a flush since the scan
+	// made some entry's liveness undecidable; the pass discards its
+	// progress and re-scans.
+	aborted bool
+}
+
+// pickValueGCLocked returns the next value-GC job, or nil. Requires an
+// active value-log writer: re-puts have nowhere to go without one.
+func (db *DB) pickValueGCLocked() *compaction.Compaction {
+	if db.vlogW == nil || db.closed {
+		return nil
+	}
+	env := compaction.Env{InFlight: db.inflight}
+	return db.picker.PickValueGC(db.vs.Current(), env, db.vlogW.Seg(),
+		db.cfg.VLogGCGarbageRatio, db.vlogGCStuck)
+}
+
+// vlogGCWorker is the dedicated value-GC goroutine, spawned by the
+// scheduler with a reserved job. It is deliberately not a pool worker: a
+// GC commit can stall on a full memtable until a flush runs, and with
+// MaxBackgroundCompactions=1 a pool slot blocked that way would deadlock
+// against the flush it is waiting for.
+func (db *DB) vlogGCWorker(c *compaction.Compaction, r *compaction.Reservation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for c != nil && !db.bgStoppedLocked() {
+		err := db.valueGCPassLocked(c)
+		db.inflight.Release(r)
+		c, r = nil, nil
+		if err != nil {
+			// GC failure never threatens data — the old records stay where
+			// they are. Stop; the next scheduler trigger tries again.
+			break
+		}
+		db.cond.Broadcast()
+		if c = db.pickValueGCLocked(); c != nil {
+			r = db.inflight.Reserve(c)
+		}
+	}
+	db.inflight.Release(r)
+	db.goros.done("vlogGCWorker")
+	db.vlogGCActive = false
+	db.cond.Broadcast()
+}
+
+// errGCChunkFull stops the segment walk once a pass has scanned its chunk
+// budget (at a record boundary, so a record straddling the budget still
+// completes).
+var errGCChunkFull = errors.New("core: gc chunk full")
+
+// valueGCPassLocked runs one chunk-sized GC pass over c.VLogSegment.
+// Called with mu held; releases it for the scan, liveness checks, and the
+// re-put commit. An aborted pass (stale liveness) returns nil without
+// advancing the watermark — the caller simply re-picks and re-scans.
+func (db *DB) valueGCPassLocked(c *compaction.Compaction) error {
+	seg := c.VLogSegment
+	s, ok := db.vs.Current().VLogSegment(seg)
+	if !ok || db.vlogW == nil {
+		return nil
+	}
+	db.met.CompactionsByReason[metrics.CompactionValueGC].Add(1)
+	db.nextJobID++
+	job := db.nextJobID
+	epoch := db.flushEpoch
+	start := s.GCOffset
+	segSize := s.Size
+	chunkBudget := db.cfg.VLogGCChunkBytes
+	passStart := time.Now()
+	db.mu.Unlock()
+
+	// Scan one chunk of records. Punched or rotted payloads (header ok,
+	// payload CRC bad) are walked over: already reclaimed, nothing to do.
+	type scannedRec struct {
+		key, value []byte
+		ptr        vlog.Pointer
+	}
+	var records []scannedRec
+	var punchRanges []deadRange
+	chunkEnd := start
+	werr := db.vlogFDs.With(seg, func(f vfs.File) error {
+		_, err := vlog.Walk(f, start, segSize, func(rec vlog.WalkRecord) error {
+			if rec.PayloadOK {
+				records = append(records, scannedRec{
+					key:   append([]byte(nil), rec.Key...),
+					value: append([]byte(nil), rec.Value...),
+					ptr:   vlog.Pointer{Seg: seg, Off: rec.Off, Len: rec.Len},
+				})
+				// Whatever the liveness verdict, the record's payload is
+				// dead once the pass commits: dead records are superseded
+				// already, live ones get re-put.
+				punchRanges = append(punchRanges, deadRange{rec.Off + vlog.HeaderSize, rec.Len - vlog.HeaderSize})
+			}
+			chunkEnd = rec.Off + rec.Len
+			if chunkEnd-start >= chunkBudget {
+				return errGCChunkFull
+			}
+			return nil
+		})
+		return err
+	})
+	if werr != nil && !errors.Is(werr, errGCChunkFull) {
+		db.mu.Lock()
+		db.vlogGCStuck[seg] = true
+		return werr
+	}
+	if chunkEnd == start {
+		// Zero progress: a rotted record header blocks the walk. Mark the
+		// segment stuck — its uncollected tail leaks space but no data —
+		// so the picker stops choosing it.
+		db.mu.Lock()
+		db.vlogGCStuck[seg] = true
+		return nil
+	}
+
+	// Liveness, first decision: a record is live iff the tree's newest
+	// version of its key is still the pointer to this very record.
+	var entries []gcEntry
+	var deadBytes int64
+	for _, rec := range records {
+		live, err := db.pointsAt(rec.key, rec.ptr)
+		if err != nil {
+			db.mu.Lock()
+			db.vlogGCStuck[seg] = true
+			return err
+		}
+		if live {
+			entries = append(entries, gcEntry{key: rec.key, value: rec.value, expect: rec.ptr})
+		} else {
+			deadBytes += rec.ptr.Len
+		}
+	}
+
+	// Re-put the live records through the writer queue. The batch itself
+	// is built under mu by filterGCBatchLocked, where liveness is decided
+	// the second time.
+	gc := &gcCommit{entries: entries, epoch: epoch}
+	if len(entries) > 0 {
+		if err := db.commit(&dbWriter{b: batch.New(), gc: gc}); err != nil {
+			db.mu.Lock()
+			return err
+		}
+		if gc.aborted {
+			// Stale liveness: discard this pass (no watermark advance, no
+			// punches — entries already re-put read as dead on re-scan).
+			db.mu.Lock()
+			return nil
+		}
+	}
+
+	// Commit the watermark advance, then queue the punches behind it.
+	db.mu.Lock()
+	if db.bgStoppedLocked() {
+		return nil
+	}
+	full := chunkEnd >= segSize
+	edit := &manifest.VersionEdit{}
+	if full {
+		edit.DeleteVLogSegment(seg)
+	} else {
+		edit.AddVLogSegment(manifest.VLogSegmentEdit{Num: seg, GCOffset: chunkEnd, GarbageDelta: -deadBytes})
+	}
+	if err := db.logAndApplyLocked(edit); err != nil {
+		return err
+	}
+	var reclaimed int64
+	if full {
+		reclaimed = segSize - start
+	} else {
+		for _, r := range punchRanges {
+			reclaimed += r.size
+		}
+	}
+	db.met.VLogGCPasses.Add(1)
+	db.met.VLogReclaimedBytes.Add(reclaimed)
+	safeSeq := db.VisibleSeq()
+	db.vlogPunchQueue = append(db.vlogPunchQueue, vlogPunch{
+		seg: seg, ranges: punchRanges, removeFile: full, safeSeq: safeSeq,
+	})
+	todo := db.takeReadyVLogPunchesLocked()
+	db.mu.Unlock()
+	db.execVLogPunches(todo)
+	db.ev.Emit(events.Event{
+		Type:    events.TypeVLogGC,
+		File:    seg,
+		BytesIn: chunkEnd - start,
+		// BytesOut is what this pass made reclaimable; the punches
+		// themselves may still be deferred behind old readers.
+		BytesOut: reclaimed,
+		Outputs:  len(entries),
+		Dur:      time.Since(passStart),
+		Job:      job,
+	})
+	db.mu.Lock()
+	return nil
+}
+
+// pointsAt reports whether the newest version of key in the whole tree is
+// a pointer equal to expect. Called without mu; runs the full read path at
+// the latest sequence.
+func (db *DB) pointsAt(key []byte, expect vlog.Pointer) (bool, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return false, ErrClosed
+	}
+	mem, imm := db.mem, db.imm
+	v := db.vs.Current()
+	v.Ref()
+	db.mu.Unlock()
+	defer v.Unref()
+
+	ikey := keys.MakeInternalKey(nil, key, keys.MaxSeq, keys.KindSeekMax)
+	value, kind, found := mem.GetSeek(ikey)
+	if !found && imm != nil {
+		value, kind, found = imm.GetSeek(ikey)
+	}
+	if !found {
+		var err error
+		value, kind, found, err = db.searchTables(v, ikey)
+		if err != nil {
+			return false, err
+		}
+	}
+	if !found || kind != keys.KindSetPtr {
+		return false, nil
+	}
+	p, err := vlog.DecodePointer(value)
+	return err == nil && p == expect, nil
+}
+
+// filterGCBatchLocked builds a GC writer's batch under mu: each entry's
+// liveness is re-decided against the current memtables, live survivors
+// are appended to the active value-log segment, and their pointer entries
+// become the batch. Re-deciding here closes the scan-to-commit race: a
+// user overwrite committed after the scan either shows in a memtable
+// (entry dropped) or was flushed (flushEpoch moved — the pass aborts,
+// because "absent from the memtables" no longer proves anything).
+func (db *DB) filterGCBatchLocked(w *dbWriter) error {
+	gc := w.gc
+	vlogW := db.vlogW
+	if vlogW == nil {
+		return errors.New("core: value log unavailable for gc commit")
+	}
+	b := batch.New()
+	var ptrBuf []byte
+	for _, e := range gc.entries {
+		ikey := keys.MakeInternalKey(nil, e.key, keys.MaxSeq, keys.KindSeekMax)
+		value, kind, found := db.mem.GetSeek(ikey)
+		if !found && db.imm != nil {
+			value, kind, found = db.imm.GetSeek(ikey)
+		}
+		switch {
+		case found:
+			if kind != keys.KindSetPtr {
+				continue // overwritten or deleted since the scan: dead
+			}
+			p, err := vlog.DecodePointer(value)
+			if err != nil || p != e.expect {
+				continue // overwritten (possibly by an earlier re-put): dead
+			}
+		case db.flushEpoch != gc.epoch:
+			// Absent from the memtables, but a flush retired one since the
+			// scan: the newest version may now be in a table this check
+			// cannot see. Not provably live, not provably dead — abort.
+			gc.aborted = true
+			continue
+		}
+		// Still live: rewrite into the active segment.
+		p, err := vlogW.Append(e.key, e.value)
+		if err != nil {
+			return err
+		}
+		db.met.VLogAppends.Add(1)
+		db.met.VLogAppendedBytes.Add(p.Len)
+		ptrBuf = p.Encode(ptrBuf[:0])
+		b.PutPtr(e.key, ptrBuf)
+	}
+	w.b = b
+	return nil
+}
+
+// minReaderSeqLocked returns the oldest sequence any current reader may
+// observe: the oldest snapshot, the oldest open iterator, or (with
+// neither) the visible sequence.
+func (db *DB) minReaderSeqLocked() keys.Seq {
+	min := db.VisibleSeq()
+	if front := db.snapshots.Front(); front != nil {
+		if s := front.Value.(keys.Seq); s < min {
+			min = s
+		}
+	}
+	for e := db.iterPins.Front(); e != nil; e = e.Next() {
+		if s := e.Value.(keys.Seq); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// takeReadyVLogPunchesLocked extracts the queued punches whose safeSeq is
+// covered by every live reader; the caller executes them off-mu.
+func (db *DB) takeReadyVLogPunchesLocked() []vlogPunch {
+	if len(db.vlogPunchQueue) == 0 {
+		return nil
+	}
+	minSeq := db.minReaderSeqLocked()
+	var ready, wait []vlogPunch
+	for _, p := range db.vlogPunchQueue {
+		if minSeq >= p.safeSeq {
+			ready = append(ready, p)
+		} else {
+			wait = append(wait, p)
+		}
+	}
+	db.vlogPunchQueue = wait
+	return ready
+}
+
+// execVLogPunches performs deferred value-log reclamation: hole punches
+// for partially collected chunks, file removal for fully collected
+// segments. Called without mu. Punching is best-effort exactly like table
+// reclamation (see reclaimZombiesLocked): an unsupported backend costs
+// space, never correctness — and unlike table ranges the space debt needs
+// no tracking, because the GC watermark already records the range as
+// collected.
+func (db *DB) execVLogPunches(todo []vlogPunch) {
+	for _, p := range todo {
+		name := manifest.VLogFileName(p.seg)
+		if p.removeFile {
+			db.vlogFDs.Evict(p.seg)
+			_ = db.fs.Remove(name)
+			continue
+		}
+		f, err := db.fs.Open(name)
+		if err != nil {
+			continue
+		}
+		for _, r := range p.ranges {
+			perr := f.PunchHole(r.off, r.size)
+			switch {
+			case perr == nil:
+				db.met.HolePunches.Add(1)
+				db.ev.Emit(events.Event{Type: events.TypeHolePunch, File: p.seg, BytesOut: r.size})
+			case errors.Is(perr, vfs.ErrPunchHoleUnsupported) || errors.Is(perr, vfs.ErrReadOnly):
+				db.met.HolePunchFallbacks.Add(1)
+			}
+		}
+		_ = f.Close()
+	}
+}
+
+// rotateVLogLocked seals the active segment, queues its MANIFEST record
+// for the next flush, and opens a fresh segment. Called under mu by the
+// group-commit leader (the only appender, so sealing cannot race an
+// append). If the new segment cannot be created, separation disables
+// itself — large values stay inline, which is correct, just unseparated —
+// rather than failing user writes.
+func (db *DB) rotateVLogLocked() (sealedSeg uint64, sealedSize int64) {
+	old := db.vlogW
+	if old == nil {
+		return 0, 0
+	}
+	_ = old.Seal()
+	sealedSeg, sealedSize = old.Seg(), old.SyncedSize()
+	db.vlogPending = append(db.vlogPending, manifest.VLogSegmentEdit{Num: sealedSeg, Size: sealedSize})
+	num := db.vs.NextFileNum()
+	w, err := vlog.NewWriter(db.fs, manifest.VLogFileName(num), num)
+	if err != nil {
+		db.vlogW, db.vlogNum = nil, 0
+		return sealedSeg, sealedSize
+	}
+	db.vlogW, db.vlogNum = w, num
+	return sealedSeg, sealedSize
+}
+
+// CompactValueLog synchronously runs value-GC passes until no sealed
+// segment has uncollected garbage (any nonzero amount qualifies — the
+// configured background ratio is ignored). Tests and tools use it to
+// settle the value log deterministically.
+func (db *DB) CompactValueLog() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for !db.bgStoppedLocked() {
+		if db.vlogGCActive {
+			// A background pass owns the claim; wait it out rather than
+			// racing it for segments.
+			db.cond.Wait()
+			continue
+		}
+		if db.vlogW == nil {
+			break
+		}
+		env := compaction.Env{InFlight: db.inflight}
+		// Tiny positive ratio: collect any segment with nonzero garbage,
+		// but never churn a garbage-free one.
+		c := db.picker.PickValueGC(db.vs.Current(), env, db.vlogW.Seg(), 1e-12, db.vlogGCStuck)
+		if c == nil {
+			break
+		}
+		r := db.inflight.Reserve(c)
+		err := db.valueGCPassLocked(c)
+		db.inflight.Release(r)
+		if err != nil {
+			return err
+		}
+		db.cond.Broadcast()
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return db.pendingErrLocked()
+}

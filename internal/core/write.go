@@ -9,6 +9,7 @@ import (
 	"github.com/bolt-lsm/bolt/internal/keys"
 	"github.com/bolt-lsm/bolt/internal/manifest"
 	"github.com/bolt-lsm/bolt/internal/memtable"
+	"github.com/bolt-lsm/bolt/internal/vlog"
 	"github.com/bolt-lsm/bolt/internal/wal"
 )
 
@@ -30,6 +31,12 @@ type dbWriter struct {
 	seq      keys.Seq
 	mem      *memtable.MemTable
 	wg       *sync.WaitGroup
+	// gc marks a value-GC commit: its batch is built under mu by
+	// filterGCBatchLocked once the writer is leader, it never groups with
+	// other writers, and it forces the value-log and WAL syncs regardless
+	// of SyncWAL (its side effect — punching the old records — must not
+	// outrun the durability of the re-puts).
+	gc *gcCommit
 }
 
 // Write atomically applies b. Callers may invoke Write concurrently; a
@@ -37,6 +44,11 @@ type dbWriter struct {
 // one WAL record, exactly like LevelDB's writer queue.
 func (db *DB) Write(b *batch.Batch) error {
 	w := &dbWriter{b: b}
+	return db.commit(w)
+}
+
+// commit queues w and runs the leader/follower group-commit protocol.
+func (db *DB) commit(w *dbWriter) error {
 	w.cv.L = &db.mu
 
 	db.mu.Lock()
@@ -70,6 +82,14 @@ func (db *DB) Write(b *batch.Batch) error {
 	err := db.makeRoomForWriteLocked()
 	var group *batch.Batch
 	var members []*dbWriter
+	var sealedSeg, newSeg uint64 // nonzero if this commit rotated the value log
+	var sealedSize int64
+	if err == nil && w.gc != nil {
+		// Build the GC re-put batch now, under mu: liveness established at
+		// scan time is re-checked against the current memtables before any
+		// record is rewritten (see filterGCBatchLocked).
+		err = db.filterGCBatchLocked(w)
+	}
 	if err == nil {
 		group, members = db.buildGroupLocked()
 		db.met.GroupCommits.Add(1)
@@ -82,17 +102,38 @@ func (db *DB) Write(b *batch.Batch) error {
 		}
 		mem := db.mem
 		walW := db.walW
+		vlogW := db.vlogW
+		userBytes := int64(group.Size())
 		db.mu.Unlock()
 
+		// WAL-time key-value separation: peel large values out of the group
+		// into the value log before the WAL append, so the WAL (and the
+		// tree) carry only pointers. The value log is synced ahead of the
+		// WAL record that references it — recovery relies on this order to
+		// treat any unresolvable pointer as an unacknowledged write.
+		extracted := false
+		if vlogW != nil && w.gc == nil {
+			group, extracted, err = db.separateValues(group, startSeq, vlogW)
+		}
+		forceSync := w.gc != nil
+		if err == nil && (extracted || forceSync) && (db.cfg.SyncWAL || forceSync) && vlogW != nil {
+			err = vlogW.Sync()
+		}
+
 		// One WAL append (and at most one sync) for the whole group.
-		err = walW.AddRecord(group.Repr())
-		if err == nil && db.cfg.SyncWAL {
+		if err == nil {
+			err = walW.AddRecord(group.Repr())
+		}
+		if err == nil && (db.cfg.SyncWAL || forceSync) {
 			err = walW.Sync()
 		}
 		db.met.WALRecords.Add(1)
 
 		if err == nil {
-			if db.cfg.ConcurrentWriters && len(members) > 1 {
+			// When values were extracted the followers' own batches no
+			// longer match what was logged, so the leader inserts the
+			// rewritten group for everyone.
+			if db.cfg.ConcurrentWriters && len(members) > 1 && !extracted {
 				err = db.insertConcurrently(mem, members)
 			} else {
 				err = group.Iterate(func(seq keys.Seq, kind keys.Kind, key, value []byte) error {
@@ -106,7 +147,11 @@ func (db *DB) Write(b *batch.Batch) error {
 			db.visibleSeq.Store(uint64(startSeq) + uint64(group.Count()) - 1)
 			db.vs.SetLastSeq(db.visibleSeq.Load())
 			db.met.Writes.Add(int64(group.Count()))
-			db.met.BytesIn.Add(int64(group.Size()))
+			db.met.BytesIn.Add(userBytes)
+			if db.vlogW != nil && db.vlogW.Size() >= db.cfg.VLogSegmentBytes {
+				sealedSeg, sealedSize = db.rotateVLogLocked()
+				newSeg = db.vlogNum
+			}
 		}
 	} else {
 		members = []*dbWriter{w}
@@ -132,7 +177,57 @@ func (db *DB) Write(b *batch.Batch) error {
 		db.cond.Broadcast()
 	}
 	db.mu.Unlock()
+	if sealedSeg != 0 {
+		db.ev.Emit(events.Event{Type: events.TypeVLogRotation, File: newSeg, BytesOut: sealedSize})
+	}
 	return err
+}
+
+// separateValues rewrites group so every KindSet entry whose value meets
+// the threshold becomes a KindSetPtr entry pointing into the value log.
+// Called off-mu in the leader's commit window; vlogW locks itself against
+// concurrent flush-time Syncs. When nothing meets the threshold the group
+// is returned untouched (and the common small-value write path pays one
+// read-only scan).
+func (db *DB) separateValues(group *batch.Batch, startSeq keys.Seq, vlogW *vlog.Writer) (*batch.Batch, bool, error) {
+	threshold := db.cfg.ValueThreshold
+	anyLarge := false
+	_ = group.Iterate(func(_ keys.Seq, kind keys.Kind, _, value []byte) error {
+		if kind == keys.KindSet && len(value) >= threshold {
+			anyLarge = true
+		}
+		return nil
+	})
+	if !anyLarge {
+		return group, false, nil
+	}
+	out := batch.New()
+	var ptrBuf []byte
+	err := group.Iterate(func(_ keys.Seq, kind keys.Kind, key, value []byte) error {
+		switch {
+		case kind == keys.KindSet && len(value) >= threshold:
+			p, err := vlogW.Append(key, value)
+			if err != nil {
+				return err
+			}
+			db.met.VLogAppends.Add(1)
+			db.met.VLogAppendedBytes.Add(p.Len)
+			ptrBuf = p.Encode(ptrBuf[:0])
+			out.PutPtr(key, ptrBuf)
+		case kind == keys.KindDelete:
+			out.Delete(key)
+		case kind == keys.KindSetPtr:
+			out.PutPtr(key, value)
+		default:
+			out.Put(key, value)
+		}
+		return nil
+	})
+	if err != nil {
+		return group, false, err
+	}
+	out.SetSeq(startSeq)
+	return out, true, nil
 }
 
 // buildGroupLocked absorbs queued writers (up to the byte cap) into one batch.
@@ -142,10 +237,15 @@ func (db *DB) buildGroupLocked() (*batch.Batch, []*dbWriter) {
 	leader := db.writers[0]
 	members := []*dbWriter{leader}
 	group := leader.b
+	if leader.gc != nil {
+		// A GC commit stands alone: its batch was purpose-built under mu
+		// and its forced syncs must not tax innocent bystanders.
+		return group, members
+	}
 	total := leader.b.Size()
 	grouped := false
 	for _, next := range db.writers[1:] {
-		if total+next.b.Size() > maxGroupCommitBytes {
+		if next.gc != nil || total+next.b.Size() > maxGroupCommitBytes {
 			break
 		}
 		if !grouped {

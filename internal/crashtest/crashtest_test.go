@@ -53,6 +53,21 @@ func hyperBoltProfile() core.Config {
 	return c
 }
 
+// vlogBoltProfile enables WAL-time key-value separation over the BoLT
+// set: a threshold inside the workload's value-size range (so runs mix
+// inline and separated values), segments small enough that rotation and
+// background value GC churn mid-workload, and sub-segment GC chunks so
+// crashes can land between a GC pass's re-put commit, its watermark
+// MANIFEST commit, and its hole punches.
+func vlogBoltProfile() core.Config {
+	c := boltProfile()
+	c.ValueThreshold = 128
+	c.VLogSegmentBytes = 8 << 10
+	c.VLogGCGarbageRatio = 0.3
+	c.VLogGCChunkBytes = 4 << 10
+	return c
+}
+
 // parallelBoltProfile runs the full BoLT element set with several
 // compaction workers, so crashes land while multiple compactions (and
 // their MANIFEST commits) are in flight.
@@ -77,6 +92,7 @@ func TestCrashRecovery(t *testing.T) {
 	}{
 		{"leveldb", leveldbProfile},
 		{"bolt", boltProfile},
+		{"vlog", vlogBoltProfile},
 		{"hyperbolt", hyperBoltProfile},
 		{"parallel", parallelBoltProfile},
 	}

@@ -88,6 +88,14 @@ const (
 	// clamped to its default at Open; Reason names the knob and the
 	// rejected value.
 	TypeConfigClamp
+	// TypeVLogRotation marks the active value-log segment being sealed and
+	// replaced; File is the new segment number, BytesOut the sealed
+	// segment's final size.
+	TypeVLogRotation
+	// TypeVLogGC marks one committed value-GC chunk pass: File is the
+	// segment, BytesIn the bytes scanned, BytesOut the bytes reclaimed,
+	// Outputs the live records re-put, Dur the pass wall time.
+	TypeVLogGC
 )
 
 // String names the type.
@@ -129,6 +137,10 @@ func (t Type) String() string {
 		return "quarantine-clear"
 	case TypeConfigClamp:
 		return "config-clamp"
+	case TypeVLogRotation:
+		return "vlog-rotation"
+	case TypeVLogGC:
+		return "vlog-gc"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -221,6 +233,11 @@ func (e Event) String() string {
 			e.Level, e.Outputs, e.BytesOut, e.Inputs)
 	case TypeConfigClamp:
 		fmt.Fprintf(&b, " %s", e.Reason)
+	case TypeVLogRotation:
+		fmt.Fprintf(&b, " vlog=%d sealed=%dB", e.File, e.BytesOut)
+	case TypeVLogGC:
+		fmt.Fprintf(&b, " vlog=%d scanned=%dB reclaimed=%dB reput=%d dur=%v",
+			e.File, e.BytesIn, e.BytesOut, e.Outputs, e.Dur.Round(time.Microsecond))
 	}
 	if e.Job != 0 {
 		switch e.Type {

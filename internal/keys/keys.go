@@ -20,6 +20,12 @@ type Kind uint8
 const (
 	KindDelete Kind = 0
 	KindSet    Kind = 1
+	// KindSetPtr is a set whose value lives out of line in the value log;
+	// the entry's value bytes encode a vlog.Pointer instead of the value
+	// itself. Within one sequence number it must sort after KindSet, but a
+	// user key never carries both kinds at the same sequence, so only
+	// distinctness matters.
+	KindSetPtr Kind = 2
 
 	// KindSeekMax is the kind used when constructing a key for seeking:
 	// because kinds sort descending within a sequence number, the maximal
@@ -35,6 +41,8 @@ func (k Kind) String() string {
 		return "DEL"
 	case KindSet:
 		return "SET"
+	case KindSetPtr:
+		return "SETPTR"
 	case KindSeekMax:
 		return "SEEK"
 	default:

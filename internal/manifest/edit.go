@@ -22,6 +22,8 @@ const (
 	tagDeletedFile    = 5
 	tagAddedFile      = 9
 	tagQuarantined    = 10
+	tagVLogSegment    = 11
+	tagVLogDeleted    = 12
 )
 
 // DeletedFile names one table removed by an edit.
@@ -34,6 +36,28 @@ type DeletedFile struct {
 type AddedFile struct {
 	Level int
 	Meta  *FileMeta
+}
+
+// VLogSegmentEdit updates one value-log segment's recorded state. Its
+// semantics are a monotonic merge, not an overwrite, so concurrently
+// prepared edits (a flush recording the segment's size, a compaction
+// adding garbage from dropped pointers) compose in any order: the builder
+// takes the max of Size and GCOffset and accumulates GarbageDelta
+// (clamped at zero). A segment unknown to the builder is created first
+// with zero state.
+type VLogSegmentEdit struct {
+	// Num is the segment's file number.
+	Num uint64
+	// Size is a lower bound on the segment's durable record bytes (a sync
+	// happens at a record boundary, so it is also parseable length).
+	Size int64
+	// GCOffset is the garbage-collection watermark: everything below it
+	// has been reclaimed (live records re-put, dead payloads punched).
+	GCOffset int64
+	// GarbageDelta adjusts the estimated dead bytes at or above GCOffset:
+	// positive from compactions dropping pointer entries, negative when GC
+	// advances the watermark past bytes it had counted.
+	GarbageDelta int64
 }
 
 // CompactPointer records the round-robin compaction cursor of a level.
@@ -63,6 +87,11 @@ type VersionEdit struct {
 	// garbage, until a salvage compaction deletes them (deletion is the
 	// unquarantine — there is no separate clearing record).
 	Quarantined []uint64
+	// VLogSegments merge value-log segment state (see VLogSegmentEdit).
+	VLogSegments []VLogSegmentEdit
+	// VLogDeleted lists value-log segments this edit removes (fully
+	// garbage-collected; the file is deleted once no reader can need it).
+	VLogDeleted []uint64
 }
 
 // SetLogNum records the active WAL number.
@@ -87,6 +116,16 @@ func (e *VersionEdit) DeleteFile(level int, num uint64) {
 // QuarantineFile appends a quarantined-table record.
 func (e *VersionEdit) QuarantineFile(num uint64) {
 	e.Quarantined = append(e.Quarantined, num)
+}
+
+// AddVLogSegment appends a value-log segment merge record.
+func (e *VersionEdit) AddVLogSegment(s VLogSegmentEdit) {
+	e.VLogSegments = append(e.VLogSegments, s)
+}
+
+// DeleteVLogSegment appends a value-log segment deletion record.
+func (e *VersionEdit) DeleteVLogSegment(num uint64) {
+	e.VLogDeleted = append(e.VLogDeleted, num)
 }
 
 // Encode serializes the edit.
@@ -132,6 +171,18 @@ func (e *VersionEdit) Encode() []byte {
 	}
 	for _, num := range e.Quarantined {
 		buf = binary.AppendUvarint(buf, tagQuarantined)
+		buf = binary.AppendUvarint(buf, num)
+	}
+	for _, s := range e.VLogSegments {
+		buf = binary.AppendUvarint(buf, tagVLogSegment)
+		buf = binary.AppendUvarint(buf, s.Num)
+		buf = binary.AppendUvarint(buf, uint64(s.Size))
+		buf = binary.AppendUvarint(buf, uint64(s.GCOffset))
+		// Zigzag: GarbageDelta is the one signed field.
+		buf = binary.AppendUvarint(buf, uint64((s.GarbageDelta<<1)^(s.GarbageDelta>>63)))
+	}
+	for _, num := range e.VLogDeleted {
+		buf = binary.AppendUvarint(buf, tagVLogDeleted)
 		buf = binary.AppendUvarint(buf, num)
 	}
 	return buf
@@ -259,6 +310,33 @@ func DecodeEdit(data []byte) (*VersionEdit, error) {
 				return nil, err
 			}
 			e.Quarantined = append(e.Quarantined, num)
+		case tagVLogSegment:
+			var s VLogSegmentEdit
+			if s.Num, err = readUvarint(); err != nil {
+				return nil, err
+			}
+			size, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.Size = int64(size)
+			gcOff, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.GCOffset = int64(gcOff)
+			zz, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			s.GarbageDelta = int64(zz>>1) ^ -int64(zz&1)
+			e.VLogSegments = append(e.VLogSegments, s)
+		case tagVLogDeleted:
+			num, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.VLogDeleted = append(e.VLogDeleted, num)
 		default:
 			return nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
 		}

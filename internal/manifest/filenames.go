@@ -18,6 +18,7 @@ const (
 	KindManifest
 	KindCurrent
 	KindTemp
+	KindValueLog
 )
 
 // CurrentFileName is the pointer file naming the live MANIFEST.
@@ -31,6 +32,9 @@ func LogFileName(num uint64) string { return fmt.Sprintf("%06d.log", num) }
 
 // ManifestFileName returns the name of MANIFEST file num.
 func ManifestFileName(num uint64) string { return fmt.Sprintf("MANIFEST-%06d", num) }
+
+// VLogFileName returns the name of value-log segment num.
+func VLogFileName(num uint64) string { return fmt.Sprintf("%06d.vlog", num) }
 
 // TempFileName returns a scratch file name.
 func TempFileName(num uint64) string { return fmt.Sprintf("%06d.tmp", num) }
@@ -62,6 +66,8 @@ func ParseFileName(name string) (FileKind, uint64, bool) {
 		return KindLog, num, true
 	case "tmp":
 		return KindTemp, num, true
+	case "vlog":
+		return KindValueLog, num, true
 	default:
 		return KindUnknown, 0, false
 	}

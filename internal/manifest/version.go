@@ -86,9 +86,58 @@ type Version struct {
 	// longer present.
 	quarantined map[uint64]struct{}
 
+	// vlogSegments records the value-log segments this version knows
+	// about, keyed by segment file number.
+	vlogSegments map[uint64]VLogSegment
+
 	refs atomic.Int32
 	vs   *VersionSet
 }
+
+// VLogSegment is the version-resident state of one value-log segment.
+// Live bytes (for GC victim selection and tooling) are estimated as
+// Size - GCOffset - Garbage, clamped at zero.
+type VLogSegment struct {
+	// Num is the segment's file number.
+	Num uint64
+	// Size is the durably recorded record-byte length (recovery may walk
+	// a valid tail past it; see core recovery).
+	Size int64
+	// GCOffset is the reclamation watermark: records below it are dead
+	// and their payloads punched.
+	GCOffset int64
+	// Garbage estimates dead bytes at or above GCOffset, accumulated from
+	// compactions dropping superseded pointer entries.
+	Garbage int64
+}
+
+// LiveBytes estimates the segment's still-referenced record bytes.
+func (s VLogSegment) LiveBytes() int64 {
+	live := s.Size - s.GCOffset - s.Garbage
+	if live < 0 {
+		return 0
+	}
+	return live
+}
+
+// VLogSegment returns the recorded state of segment num.
+func (v *Version) VLogSegment(num uint64) (VLogSegment, bool) {
+	s, ok := v.vlogSegments[num]
+	return s, ok
+}
+
+// VLogSegments returns all recorded value-log segments, ordered by number.
+func (v *Version) VLogSegments() []VLogSegment {
+	out := make([]VLogSegment, 0, len(v.vlogSegments))
+	for _, s := range v.vlogSegments {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+// NumVLogSegments returns the recorded segment count.
+func (v *Version) NumVLogSegments() int { return len(v.vlogSegments) }
 
 // IsQuarantined reports whether table num is quarantined in this version.
 func (v *Version) IsQuarantined(num uint64) bool {
@@ -178,6 +227,7 @@ type versionBuilder struct {
 	added       [NumLevels][]*FileMeta
 	deleted     map[levelNum]bool
 	quarantined map[uint64]struct{}
+	vlog        map[uint64]VLogSegment
 }
 
 type levelNum struct {
@@ -191,6 +241,10 @@ func newVersionBuilder(base *Version) *versionBuilder {
 	for num := range base.quarantinedOrNil() {
 		b.quarantined[num] = struct{}{}
 	}
+	b.vlog = make(map[uint64]VLogSegment, len(base.vlogSegmentsOrNil()))
+	for num, s := range base.vlogSegmentsOrNil() {
+		b.vlog[num] = s
+	}
 	return b
 }
 
@@ -200,6 +254,14 @@ func (v *Version) quarantinedOrNil() map[uint64]struct{} {
 		return nil
 	}
 	return v.quarantined
+}
+
+// vlogSegmentsOrNil tolerates a nil base (the recovery bootstrap).
+func (v *Version) vlogSegmentsOrNil() map[uint64]VLogSegment {
+	if v == nil {
+		return nil
+	}
+	return v.vlogSegments
 }
 
 func (b *versionBuilder) apply(edit *VersionEdit) {
@@ -214,6 +276,26 @@ func (b *versionBuilder) apply(edit *VersionEdit) {
 	}
 	for _, num := range edit.Quarantined {
 		b.quarantined[num] = struct{}{}
+	}
+	for _, se := range edit.VLogSegments {
+		// Monotonic merge (see VLogSegmentEdit): max sizes and watermarks,
+		// accumulate garbage, clamp at zero.
+		s := b.vlog[se.Num]
+		s.Num = se.Num
+		if se.Size > s.Size {
+			s.Size = se.Size
+		}
+		if se.GCOffset > s.GCOffset {
+			s.GCOffset = se.GCOffset
+		}
+		s.Garbage += se.GarbageDelta
+		if s.Garbage < 0 {
+			s.Garbage = 0
+		}
+		b.vlog[se.Num] = s
+	}
+	for _, num := range edit.VLogDeleted {
+		delete(b.vlog, num)
 	}
 }
 
@@ -267,6 +349,12 @@ func (b *versionBuilder) finish(vs *VersionSet) *Version {
 		}
 		if len(v.quarantined) == 0 {
 			v.quarantined = nil
+		}
+	}
+	if len(b.vlog) > 0 {
+		v.vlogSegments = make(map[uint64]VLogSegment, len(b.vlog))
+		for num, s := range b.vlog {
+			v.vlogSegments[num] = s
 		}
 	}
 	return v

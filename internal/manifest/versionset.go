@@ -315,6 +315,13 @@ func (vs *VersionSet) snapshotEdit(v *Version) *VersionEdit {
 	for _, num := range v.Quarantined() {
 		edit.QuarantineFile(num)
 	}
+	// Value-log segments re-emit their absolute state; against the fresh
+	// builder's zero state the monotonic merge reproduces it exactly.
+	for _, s := range v.VLogSegments() {
+		edit.AddVLogSegment(VLogSegmentEdit{
+			Num: s.Num, Size: s.Size, GCOffset: s.GCOffset, GarbageDelta: s.Garbage,
+		})
+	}
 	return edit
 }
 

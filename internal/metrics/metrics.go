@@ -25,13 +25,14 @@ const (
 	CompactionFragmented
 	CompactionManual
 	CompactionSalvage
+	CompactionValueGC
 	NumCompactionReasons
 )
 
 // CompactionReasonNames are the Prometheus label values, indexed by
 // CompactionReason.
 var CompactionReasonNames = [NumCompactionReasons]string{
-	"size", "seek", "settled", "fragmented", "manual", "salvage",
+	"size", "seek", "settled", "fragmented", "manual", "salvage", "value-gc",
 }
 
 // Metrics is the live counter set of one DB instance.
@@ -79,6 +80,13 @@ type Metrics struct {
 	BgRecoveredFaults    atomic.Int64 // background ops that succeeded after failed attempts
 	ReadOnlyDegradations atomic.Int64 // entries into read-only mode
 	HolePunchFallbacks   atomic.Int64 // punches degraded to dead-range accounting
+
+	// Value log (WAL-time key-value separation).
+	VLogAppends        atomic.Int64 // values extracted into the value log
+	VLogAppendedBytes  atomic.Int64 // record bytes appended to the value log
+	VLogDerefs         atomic.Int64 // pointer dereferences on the read path
+	VLogGCPasses       atomic.Int64 // value-GC chunk passes committed
+	VLogReclaimedBytes atomic.Int64 // value-log bytes reclaimed (watermark advances)
 
 	// Integrity: scrub, quarantine, salvage.
 	ScrubPasses      atomic.Int64 // completed background scrub passes
@@ -136,6 +144,12 @@ type Snapshot struct {
 	ReadOnlyDegradations int64
 	HolePunchFallbacks   int64
 
+	VLogAppends        int64
+	VLogAppendedBytes  int64
+	VLogDerefs         int64
+	VLogGCPasses       int64
+	VLogReclaimedBytes int64
+
 	ScrubPasses      int64
 	ScrubTables      int64
 	ScrubBytes       int64
@@ -190,6 +204,12 @@ func (m *Metrics) snapshotScalars() Snapshot {
 		BgRecoveredFaults:    m.BgRecoveredFaults.Load(),
 		ReadOnlyDegradations: m.ReadOnlyDegradations.Load(),
 		HolePunchFallbacks:   m.HolePunchFallbacks.Load(),
+
+		VLogAppends:        m.VLogAppends.Load(),
+		VLogAppendedBytes:  m.VLogAppendedBytes.Load(),
+		VLogDerefs:         m.VLogDerefs.Load(),
+		VLogGCPasses:       m.VLogGCPasses.Load(),
+		VLogReclaimedBytes: m.VLogReclaimedBytes.Load(),
 
 		ScrubPasses:      m.ScrubPasses.Load(),
 		ScrubTables:      m.ScrubTables.Load(),

@@ -141,6 +141,12 @@ func (m *Metrics) WriteProm(p *PromWriter) {
 	p.LabeledCounter("bolt_compactions_by_reason_total", "Compactions completed, by trigger.",
 		"reason", CompactionReasonNames[:], s.CompactionsByReason[:])
 
+	p.Counter("bolt_vlog_appends_total", "Values separated into the value log at commit.", s.VLogAppends)
+	p.Counter("bolt_vlog_appended_bytes_total", "Record bytes appended to the value log.", s.VLogAppendedBytes)
+	p.Counter("bolt_vlog_derefs_total", "Reads that dereferenced a value-log pointer.", s.VLogDerefs)
+	p.Counter("bolt_vlog_gc_passes_total", "Value-log GC passes committed.", s.VLogGCPasses)
+	p.Counter("bolt_vlog_reclaimed_bytes_total", "Value-log bytes reclaimed by GC watermark advances.", s.VLogReclaimedBytes)
+
 	p.Counter("bolt_gets_total", "Point lookups.", s.Gets)
 	p.Counter("bolt_get_hits_total", "Point lookups that found a value.", s.GetHits)
 	p.Counter("bolt_tables_checked_total", "Tables consulted across all gets.", s.TablesChecked)

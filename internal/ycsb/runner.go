@@ -27,8 +27,11 @@ type RunConfig struct {
 	Ops int64
 	// Threads is the client thread count (the paper uses 4).
 	Threads int
-	// ValueSize is the payload size.
+	// ValueSize is the payload size (exact for FixedSize, the maximum for
+	// the variable distributions).
 	ValueSize int
+	// ValueSizeDist selects how per-write value lengths are drawn.
+	ValueSizeDist ValueSizeDist
 	// Seed makes the run deterministic.
 	Seed int64
 	// Interrupt, when non-nil, aborts the run early once it becomes
@@ -85,12 +88,13 @@ func Run(kv KV, cfg RunConfig) (*Result, error) {
 			ops += cfg.Ops % int64(cfg.Threads) // remainder to the last thread
 		}
 		gen := NewGenerator(GeneratorConfig{
-			Workload:     cfg.Workload,
-			Distribution: cfg.Distribution,
-			RecordCount:  cfg.RecordCount,
-			InsertStart:  cfg.RecordCount + int64(t)*perThread,
-			ValueSize:    cfg.ValueSize,
-			Seed:         cfg.Seed + int64(t)*7919,
+			Workload:      cfg.Workload,
+			Distribution:  cfg.Distribution,
+			RecordCount:   cfg.RecordCount,
+			InsertStart:   cfg.RecordCount + int64(t)*perThread,
+			ValueSize:     cfg.ValueSize,
+			ValueSizeDist: cfg.ValueSizeDist,
+			Seed:          cfg.Seed + int64(t)*7919,
 		})
 		wg.Add(1)
 		go func() {

@@ -110,6 +110,35 @@ func (d Distribution) String() string {
 	}
 }
 
+// ValueSizeDist selects how per-operation value sizes are drawn. The zero
+// value (FixedSize) preserves the original fixed-length behaviour.
+type ValueSizeDist int
+
+// Value size distributions. UniformSize and ZipfSize draw a fresh length
+// in [1, ValueSize] per write; ZipfSize is YCSB's "zipfian" field-length
+// distribution, where short lengths are the most popular and lengths near
+// the maximum form the tail — the shape that exercises a key-value
+// separation threshold from both sides.
+const (
+	FixedSize ValueSizeDist = iota
+	UniformSize
+	ZipfSize
+)
+
+// String names the distribution.
+func (d ValueSizeDist) String() string {
+	switch d {
+	case FixedSize:
+		return "fixed"
+	case UniformSize:
+		return "uniform"
+	case ZipfSize:
+		return "zipf"
+	default:
+		return fmt.Sprintf("ValueSizeDist(%d)", int(d))
+	}
+}
+
 // Key returns the YCSB key for record index i: "user" plus 19 digits of a
 // scrambled counter — 23 bytes, matching the paper's key size.
 func Key(i int64) []byte {
@@ -185,6 +214,8 @@ type Generator struct {
 	recordCount int64
 	insertSeq   int64
 	valueSize   int
+	sizeDist    ValueSizeDist
+	sizeZipf    *zipf
 	scanMaxLen  int
 	valueBuf    []byte
 }
@@ -202,8 +233,11 @@ type GeneratorConfig struct {
 	// (stripe the space across threads).
 	InsertStart int64
 	// ValueSize is the value payload length (the paper uses 1 KB and
-	// 100 B).
+	// 100 B) — the exact length for FixedSize, the maximum otherwise.
 	ValueSize int
+	// ValueSizeDist selects how per-write value lengths are drawn (default
+	// FixedSize).
+	ValueSizeDist ValueSizeDist
 	// ScanMaxLen bounds scan lengths (default 100, YCSB's default).
 	ScanMaxLen int
 	// Seed makes the stream deterministic.
@@ -238,23 +272,37 @@ func NewGenerator(cfg GeneratorConfig) *Generator {
 		recordCount: cfg.RecordCount,
 		insertSeq:   cfg.InsertStart,
 		valueSize:   cfg.ValueSize,
+		sizeDist:    cfg.ValueSizeDist,
 		scanMaxLen:  cfg.ScanMaxLen,
 		valueBuf:    make([]byte, cfg.ValueSize),
 	}
 	if cfg.RecordCount > 0 {
 		g.zipf = newZipf(rand.New(rand.NewSource(cfg.Seed+1)), cfg.RecordCount)
 	}
+	if cfg.ValueSizeDist == ZipfSize {
+		g.sizeZipf = newZipf(rand.New(rand.NewSource(cfg.Seed+2)), int64(cfg.ValueSize))
+	}
 	return g
 }
 
-// value fills the value buffer with cheap pseudo-random bytes.
+// value draws this write's length from the configured size distribution
+// and fills that prefix of the value buffer with cheap pseudo-random
+// bytes.
 func (g *Generator) value() []byte {
+	n := g.valueSize
+	switch g.sizeDist {
+	case UniformSize:
+		n = 1 + g.rng.Intn(g.valueSize)
+	case ZipfSize:
+		n = 1 + int(g.sizeZipf.next())
+	}
+	buf := g.valueBuf[:n]
 	// Fill 8 bytes at a time; compressibility does not matter (the paper
 	// disables compression).
-	for i := 0; i+8 <= len(g.valueBuf); i += 8 {
-		binary.LittleEndian.PutUint64(g.valueBuf[i:], g.rng.Uint64())
+	for i := 0; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], g.rng.Uint64())
 	}
-	return g.valueBuf
+	return buf
 }
 
 // chooseKey draws a request key index.

@@ -50,6 +50,48 @@ func TestZipfSkewAndBounds(t *testing.T) {
 	}
 }
 
+func TestValueSizeDistributions(t *testing.T) {
+	const maxSize = 4096
+	gen := func(d ValueSizeDist) *Generator {
+		return NewGenerator(GeneratorConfig{
+			Workload: LoadA, ValueSize: maxSize, ValueSizeDist: d, Seed: 3,
+		})
+	}
+
+	g := gen(FixedSize)
+	for i := 0; i < 100; i++ {
+		if n := len(g.Next().Value); n != maxSize {
+			t.Fatalf("fixed: value %d has %d bytes, want %d", i, n, maxSize)
+		}
+	}
+
+	for _, d := range []ValueSizeDist{UniformSize, ZipfSize} {
+		g := gen(d)
+		var sum, draws int64
+		distinct := map[int]bool{}
+		for i := 0; i < 5000; i++ {
+			n := len(g.Next().Value)
+			if n < 1 || n > maxSize {
+				t.Fatalf("%s: value length %d outside [1, %d]", d, n, maxSize)
+			}
+			sum += int64(n)
+			draws++
+			distinct[n] = true
+		}
+		if len(distinct) < 50 {
+			t.Fatalf("%s: only %d distinct lengths over %d draws", d, len(distinct), draws)
+		}
+		mean := sum / draws
+		if d == UniformSize && (mean < maxSize/3 || mean > 2*maxSize/3) {
+			t.Fatalf("uniform: mean length %d, want near %d", mean, maxSize/2)
+		}
+		// YCSB's zipfian field lengths favour short values heavily.
+		if d == ZipfSize && mean > maxSize/4 {
+			t.Fatalf("zipf: mean length %d shows no skew toward short values", mean)
+		}
+	}
+}
+
 func TestUniformCoverage(t *testing.T) {
 	g := NewGenerator(GeneratorConfig{Workload: WorkloadC, Distribution: Uniform, RecordCount: 1000, Seed: 2})
 	counts := map[string]int{}
